@@ -1,0 +1,14 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper.  Heavy
+artifacts (verified kernel/app builds) are cached per session so the
+timed region is the *simulation*, not the trace construction.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # Keep benchmark runs deterministic and comparable.
+    config.option.benchmark_min_rounds = 1
+    config.option.benchmark_warmup = False

@@ -1,0 +1,27 @@
+"""Table 1: processor configurations.
+
+Regenerates the processor-configuration table and pins every paper value;
+the timed region is configuration construction (trivially fast -- this
+bench exists to print the table alongside the others).
+"""
+
+from repro.eval.tables import table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+
+    by_way = {r["way"]: r for r in rows}
+    assert by_way[1]["rob"] == 8 and by_way[1]["lsq"] == 4
+    assert by_way[2]["rob"] == 16 and by_way[2]["bimodal"] == 2048
+    assert by_way[4]["rob"] == 32 and by_way[4]["btb"] == 512
+    assert by_way[8]["rob"] == 64 and by_way[8]["bimodal"] == 16384
+    assert by_way[8]["int"] == "2/2" and by_way[4]["int"] == "2/1"
+    assert by_way[8]["med"] == "4 - (2x2)"       # MOM: 2 units x 2 lanes
+    assert by_way[8]["ports"] == "4 - (2x2)"
+    assert by_way[1]["int_regs"] == "32/40"
+    assert by_way[8]["fp_regs"] == "32/96"
+
+    print("\nTable 1 (reproduced):")
+    for row in rows:
+        print("  " + "  ".join(f"{k}={v}" for k, v in row.items()))

@@ -1,0 +1,27 @@
+"""Table 3: port configurations of the four memory models."""
+
+from repro.eval.tables import table3_rows
+from repro.memsys import (CollapsingBufferHierarchy, ConventionalHierarchy,
+                          MultiAddressHierarchy, VectorCacheHierarchy)
+
+
+def test_table3(benchmark):
+    rows = benchmark(table3_rows)
+
+    assert rows[4]["conv_ma"] == {"l1_ports": 2, "l1_banks": 4,
+                                  "l1_latency": 1, "l2_latency": 6}
+    assert rows[8]["conv_ma"] == {"l1_ports": 4, "l1_banks": 8,
+                                  "l1_latency": 2, "l2_latency": 6}
+    assert rows[4]["vc_col"]["l2_ports"] == "1x2"
+    assert rows[8]["vc_col"]["l2_ports"] == "1x4"
+    assert rows[4]["vc_col"]["l2_latency"] == "8/10"
+
+    # The concrete hierarchies must agree with the table.
+    assert len(ConventionalHierarchy(4).port_free) == 2
+    assert len(MultiAddressHierarchy(8).port_free) == 4
+    assert VectorCacheHierarchy(4).params.vector_port_width == 2
+    assert CollapsingBufferHierarchy(8).params.l2_latency == 10
+
+    print("\nTable 3 (reproduced):")
+    for way, cols in rows.items():
+        print(f"  {way}-way: {cols}")

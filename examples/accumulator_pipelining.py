@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Figure 4: why MOM tolerates accumulator latency and MDMX does not.
+
+An MDMX accumulator instruction reads the accumulator it writes, so a chain
+of dependent accumulations serializes at the functional-unit latency.  A MOM
+matrix accumulation carries up to 16 rows inside one instruction; the
+hardware keeps `latency` partial accumulators in flight and folds them once,
+so the chain streams at one row per lane per cycle.
+
+This example runs both the analytical model
+(:class:`repro.core.accumulator.PipelinedAccumulation`) and the actual
+cycle-level simulator on a dot-product workload, showing they agree.
+
+Run:  python examples/accumulator_pipelining.py
+"""
+
+import numpy as np
+
+from repro import MdmxBuilder, MomBuilder
+from repro.core.accumulator import PipelinedAccumulation
+from repro.cpu import Core, machine_config
+from repro.isa.mmx import MED_MUL_LATENCY
+from repro.isa.model import ElemType
+from repro.memsys import PerfectMemory
+
+WORDS = 64          # 64 packed words = 256 16-bit MACs
+
+
+def mdmx_dot(data_a, data_b, accumulators: int):
+    """Chained pmaddah over 1, 2 or 4 accumulators (software pipelining)."""
+    b = MdmxBuilder()
+    pa = b.ireg(b.mem.alloc_array(data_a))
+    pb = b.ireg(b.mem.alloc_array(data_b))
+    ra, rb = b.mreg(), b.mreg()
+    accs = [b.areg() for _ in range(accumulators)]
+    for w in range(WORDS):
+        b.m_ldq(ra, pa, 8 * w)
+        b.m_ldq(rb, pb, 8 * w)
+        b.pmaddah(accs[w % accumulators], ra, rb)
+    return b
+
+
+def mom_dot(data_a, data_b):
+    """mommvmh matrix-dot instructions, 16 words each."""
+    b = MomBuilder()
+    pa = b.ireg(b.mem.alloc_array(data_a))
+    pb = b.ireg(b.mem.alloc_array(data_b))
+    stride = b.ireg(8)
+    ma, mb = b.mreg(), b.mreg()
+    acc = b.areg()
+    out = b.ireg()
+    b.setvli(16)
+    for base in range(0, WORDS, 16):
+        b.momldq(ma, pa, stride)
+        b.momldq(mb, pb, stride)
+        b.mommvmh(acc, ma, mb)
+        b.addi(pa, pa, 16 * 8)
+        b.addi(pb, pb, 16 * 8)
+    b.racl(out, acc, ElemType.Q)
+    return b
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    data_a = rng.integers(-2048, 2048, WORDS * 4).astype(np.int16)
+    data_b = rng.integers(-2048, 2048, WORDS * 4).astype(np.int16)
+
+    model = PipelinedAccumulation(latency=MED_MUL_LATENCY, lanes=1)
+    print("Analytical model (cycles for 64 chained accumulations):")
+    print(f"  MDMX, 1 accumulator : {model.mdmx_cycles(WORDS)}")
+    print(f"  MDMX, 4 accumulators: {model.mdmx_cycles(WORDS) // 4}"
+          " (4 independent chains)")
+    print(f"  MOM,  4 matrix ops  : {model.mom_cycles(rows=16, instructions=4)}")
+
+    print("\nCycle-level simulator (4-way machine, perfect memory):")
+    for accumulators in (1, 2, 4):
+        b = mdmx_dot(data_a, data_b, accumulators)
+        cfg = machine_config(4, "mdmx")
+        r = Core(cfg, PerfectMemory(1, cfg.mem_ports, 1)).run(b.trace)
+        print(f"  MDMX, {accumulators} accumulator(s): {r.cycles} cycles")
+    b = mom_dot(data_a, data_b)
+    cfg = machine_config(4, "mom")
+    r = Core(cfg, PerfectMemory(1, cfg.mem_ports, cfg.mem_port_width)).run(b.trace)
+    print(f"  MOM, matrix ops      : {r.cycles} cycles")
+    print("\nThe MDMX chain shortens only by adding architectural "
+          "accumulators;\nMOM streams the whole reduction through one.")
+
+
+if __name__ == "__main__":
+    main()

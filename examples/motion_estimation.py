@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Run the paper's motivating workload end to end: MPEG-2 motion estimation.
+
+Builds the fullsearch spiral over a synthetic frame in all four ISAs,
+verifies every version finds the same motion vector, then sweeps machine
+widths to reproduce one panel of Figure 5 and the latency-tolerance
+experiment for this kernel.
+
+Run:  python examples/motion_estimation.py
+"""
+
+from repro.cpu import Core, machine_config
+from repro.kernels import KERNELS, build_and_check
+from repro.memsys import PerfectMemory
+
+
+def main() -> None:
+    spec = KERNELS["motion1"]
+    workload = spec.make_workload(1)
+    print(f"Searching {len(workload.candidates)} candidate positions "
+          f"in a {workload.ref.shape[1]}x{workload.ref.shape[0]} frame\n")
+
+    built = {}
+    for isa in ("alpha", "mmx", "mdmx", "mom"):
+        built[isa] = build_and_check(spec, isa, workload)
+        best = int(built[isa].outputs["best"][0])
+        print(f"{isa:6s}: {len(built[isa].trace):6d} instructions, "
+              f"best candidate #{best} "
+              f"(SAD {int(built[isa].outputs['distances'][best])})")
+
+    print("\nSpeed-up vs 1-way Alpha (perfect 1-cycle memory):")
+    baseline = None
+    for way in (1, 2, 4, 8):
+        cells = []
+        for isa, bk in built.items():
+            cfg = machine_config(way, isa)
+            mem = PerfectMemory(1, cfg.mem_ports, cfg.mem_port_width)
+            cycles = Core(cfg, mem).run(bk.trace).cycles
+            if baseline is None:
+                baseline = cycles
+            cells.append(f"{isa}={baseline / cycles:5.1f}x")
+        print(f"  {way}-way: " + "  ".join(cells))
+
+    print("\nSlow-down when memory latency grows 1 -> 50 cycles (4-way):")
+    for isa, bk in built.items():
+        cfg = machine_config(4, isa)
+        fast = Core(cfg, PerfectMemory(1, cfg.mem_ports,
+                                       cfg.mem_port_width)).run(bk.trace)
+        slow = Core(cfg, PerfectMemory(50, cfg.mem_ports,
+                                       cfg.mem_port_width)).run(bk.trace)
+        print(f"  {isa:6s}: {slow.cycles / fast.cycles:4.1f}x slower")
+    print("\nMOM's matrix loads amortize the latency over 16 strided rows —"
+          "\nthe streaming behaviour that makes it an embedded candidate.")
+
+
+if __name__ == "__main__":
+    main()

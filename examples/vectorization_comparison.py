@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Figure 3 as an executable analysis: who covers the dist1 loop nest how.
+
+The paper's motivating example is the 16x16 SAD of the MPEG-2 motion
+estimator, whose rows are ``length`` bytes apart in the reference frame.
+This example prints, for each ISA paradigm, how many elements one
+instruction covers, how well the registers are utilized, and how many
+instructions the full nest takes -- including the "just make the register
+wider" (Altivec) scenario the paper rebuts.
+
+Run:  python examples/vectorization_comparison.py
+"""
+
+from repro.core.vectorize import LoopNest, compare, dist1_nest, mmx_like
+
+
+def show(nest: LoopNest, title: str) -> None:
+    print(f"\n--- {title} ---")
+    print(f"{'paradigm':10s}{'elems/instr':>12s}{'utilization':>13s}"
+          f"{'instructions':>14s}")
+    for name, cov in compare(nest).items():
+        print(f"{name:10s}{cov.elements_per_instruction:>12d}"
+              f"{cov.utilization:>12.0%}{cov.instructions_for(nest):>14d}")
+
+
+def main() -> None:
+    # The paper's case: a 352-pixel-wide reference frame.
+    nest = dist1_nest(length=352)
+    show(nest, "dist1 16x16 SAD, frame width 352 (strided rows)")
+
+    # What if rows were contiguous? Then a 1024-bit register would do
+    # as well as a matrix -- but they are not, which is the point.
+    contiguous = LoopNest(inner_trip=16, outer_trip=16, elem_bits=8,
+                          stride_bytes=16)
+    show(contiguous, "same nest with contiguous rows (hypothetical)")
+
+    wide = mmx_like(dist1_nest(length=352), register_bits=1024)
+    print("\nAltivec-style 1024-bit register on the strided nest covers"
+          f" {wide.elements_per_instruction} elements per instruction --"
+          "\nno better than 128-bit: the next row starts 352 bytes away."
+          "\nMOM packs 128 elements because its rows take an arbitrary"
+          " stride.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Compatibility shim: this offline environment lacks the `wheel` package,
+so `pip install -e .` (PEP 660) cannot build. `python setup.py develop`
+installs an egg-link instead. Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,19 @@
+"""Mediabench-like applications for the full-program study (Section 4.2).
+
+Importing this package registers five applications in
+:data:`repro.apps.common.APPS`: ``mpeg2_encode``, ``mpeg2_decode``,
+``jpeg_encode``, ``jpeg_decode`` and ``gsm_encode`` (``gsm_decode`` is
+dropped, as in the paper, for its very low vectorization percentage).
+"""
+
+from .common import APP_ISAS, APPS, AppSpec, BuiltApp, make_stages, psnr
+from . import gsm    # noqa: F401  (registration side effect)
+from . import jpeg   # noqa: F401
+from . import mpeg2  # noqa: F401
+
+#: Application presentation order used by Figure 7.
+APP_ORDER = ("jpeg_encode", "jpeg_decode", "gsm_encode",
+             "mpeg2_decode", "mpeg2_encode")
+
+__all__ = ["APP_ISAS", "APPS", "APP_ORDER", "AppSpec", "BuiltApp",
+           "make_stages", "psnr"]

@@ -1,0 +1,106 @@
+"""Application framework for the full-program study (Section 4.2).
+
+An application build produces one dynamic trace for a chosen ISA
+configuration -- ``alpha`` (everything scalar), ``mmx`` or ``mom``
+(hand-vectorized hot functions + the same scalar remainder).  The paper
+drops MDMX from this study ("as MDMX exhibits similar behavior to MMX");
+so do we.
+
+Every build also records *phase markers* (trace offsets at phase
+boundaries), from which the vectorizable fraction reported in
+EXPERIMENTS.md is computed, and returns its functional outputs so tests can
+assert bit-exact agreement across ISA configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..emulib.alpha_builder import AlphaBuilder
+from ..emulib.mmx_builder import MmxBuilder
+from ..emulib.mom_builder import MomBuilder
+from .stages import ScalarStages
+from .stages_media import MmxStages, MomStages
+
+#: ISA configurations evaluated at application level (Figure 7).
+APP_ISAS = ("alpha", "mmx", "mom")
+
+_BUILDERS = {
+    "alpha": (AlphaBuilder, ScalarStages),
+    "mmx": (MmxBuilder, MmxStages),
+    "mom": (MomBuilder, MomStages),
+}
+
+
+def make_stages(isa: str):
+    """Instantiate (builder, stages) for an application ISA configuration."""
+    if isa not in _BUILDERS:
+        raise ValueError(f"unknown app ISA {isa!r}; pick from {APP_ISAS}")
+    builder_cls, stages_cls = _BUILDERS[isa]
+    builder = builder_cls()
+    return builder, stages_cls(builder)
+
+
+@dataclass
+class BuiltApp:
+    """One functionally-executed application run ready for timing."""
+
+    builder: object
+    outputs: dict[str, np.ndarray]
+    phases: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def trace(self):
+        return self.builder.trace
+
+    def vector_fraction(self) -> float:
+        """Fraction of dynamic instructions inside vectorizable phases."""
+        vec = sum(n for name, n in self.phases.items()
+                  if not name.startswith("scalar_"))
+        total = len(self.trace)
+        return vec / total if total else 0.0
+
+
+class PhaseTimer:
+    """Records how many instructions each pipeline phase emitted."""
+
+    def __init__(self, builder) -> None:
+        self.builder = builder
+        self.phases: dict[str, int] = {}
+        self._mark = 0
+
+    def close(self, name: str) -> None:
+        now = len(self.builder.trace)
+        self.phases[name] = self.phases.get(name, 0) + (now - self._mark)
+        self._mark = now
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Registry entry for one Mediabench-like application."""
+
+    name: str
+    description: str
+    build: Callable[[str, int], BuiltApp]    # (isa, scale) -> BuiltApp
+
+
+APPS: dict[str, AppSpec] = {}
+
+
+def register(spec: AppSpec) -> AppSpec:
+    if spec.name in APPS:
+        raise ValueError(f"application {spec.name!r} registered twice")
+    APPS[spec.name] = spec
+    return spec
+
+
+def psnr(a: np.ndarray, c: np.ndarray) -> float:
+    """Peak signal-to-noise ratio between two 8-bit images/signals."""
+    diff = a.astype(np.float64) - c.astype(np.float64)
+    mse = float(np.mean(diff * diff))
+    if mse == 0:
+        return float("inf")
+    return 10.0 * np.log10(255.0 * 255.0 / mse)

@@ -1,0 +1,198 @@
+"""jpeg encode / jpeg decode application pipelines.
+
+A baseline-JPEG-like still-image codec over the synthetic RGB workload:
+colour conversion (the rgb2ycc kernel), 4:2:0 chroma decimation, 8x8 FDCT
+with level shift, quantization, and a Huffman stage whose exact operation
+counts drive the synthesized scalar section; the decoder inverts every step
+and finishes with the h2v2 upsample kernel and the ycc2rgb conversion.
+
+Correctness contract: all ISA configurations produce bit-identical planes,
+and the decoded image round-trips within a PSNR bound of the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..emulib.scalar_section import SectionProfile
+from .common import AppSpec, BuiltApp, PhaseTimer, make_stages, register
+from .reference import (addblock_ref, dequant_ref, downsample2_ref, quant_ref,
+                        residual_ref, rgb2ycc_ref, transform8_ref,
+                        upsample2_ref, ycc2rgb_ref)
+from .stages import FDCT_MAT, IDCT_MAT
+from .workloads import rgb_image
+
+WIDTH = 32
+HEIGHT = 32
+N = 8
+PIXELS = WIDTH * HEIGHT
+
+
+def _plane_blocks(width: int, height: int):
+    for by in range(0, height, N):
+        for bx in range(0, width, N):
+            yield by, bx
+
+
+def _huffman_profile(coded_blocks: list[np.ndarray]) -> SectionProfile:
+    """Exact operation counts for baseline Huffman coding."""
+    profile = SectionProfile(name="scalar_huffman", footprint=4096)
+    for coefs in coded_blocks:
+        flat = coefs.reshape(-1)
+        nz = int(np.count_nonzero(flat))
+        profile.alu += 2 * flat.size
+        profile.loads += flat.size // 4 + 3 * nz
+        profile.alu += 8 * nz
+        profile.stores += nz // 2 + 2
+        profile.data_branches += 3 * nz
+        profile.loop_branches += flat.size // 8
+    return profile
+
+
+def _functional_encode(r, g, b):
+    """Side data: quantized coefficient blocks for Y, Cb, Cr planes."""
+    y, cb, cr = rgb2ycc_ref(r, g, b)
+    cb_s, cr_s = downsample2_ref(cb), downsample2_ref(cr)
+    plane_blocks = []
+    for plane in (y, cb_s, cr_s):
+        h, w = plane.shape
+        blocks = []
+        for by, bx in _plane_blocks(w, h):
+            centered = plane[by : by + N, bx : bx + N].astype(np.int64) - 128
+            coef = quant_ref(transform8_ref(centered.astype(np.int16),
+                                            FDCT_MAT, False))
+            blocks.append(coef)
+        plane_blocks.append(blocks)
+    return (y, cb_s, cr_s), plane_blocks
+
+
+def _functional_decode(plane_blocks):
+    """Reference decode of the quantized planes back to RGB."""
+    shapes = ((HEIGHT, WIDTH), (HEIGHT // 2, WIDTH // 2),
+              (HEIGHT // 2, WIDTH // 2))
+    planes = []
+    for blocks, (h, w) in zip(plane_blocks, shapes):
+        plane = np.zeros((h, w), dtype=np.uint8)
+        for (by, bx), coef in zip(_plane_blocks(w, h), blocks):
+            resid = transform8_ref(dequant_ref(coef), IDCT_MAT, True)
+            pred = np.full((N, N), 128, dtype=np.uint8)
+            plane[by : by + N, bx : bx + N] = addblock_ref(pred, resid)
+        planes.append(plane)
+    y, cb_s, cr_s = planes
+    cb, cr = upsample2_ref(cb_s), upsample2_ref(cr_s)
+    return ycc2rgb_ref(y, cb, cr)
+
+
+def build_jpeg_encode(isa: str, scale: int = 1) -> BuiltApp:
+    r, g, bb = rgb_image(WIDTH, HEIGHT, scale=scale)
+    b, st = make_stages(isa)
+    timer = PhaseTimer(b)
+
+    # Contiguous planar layout (required by the MOM VL=3 colour stage).
+    rgb_addr = b.mem.alloc(3 * PIXELS)
+    b.mem.store_array(rgb_addr, np.concatenate([p.reshape(-1) for p in (r, g, bb)]))
+    ycc_addr = b.mem.alloc(3 * PIXELS)
+    y_addr, cb_addr, cr_addr = (ycc_addr, ycc_addr + PIXELS,
+                                ycc_addr + 2 * PIXELS)
+    cbs_addr = b.mem.alloc(PIXELS // 4)
+    crs_addr = b.mem.alloc(PIXELS // 4)
+    block_addr = b.mem.alloc(N * N * 2)
+    coef_addr = b.mem.alloc(N * N * 2)
+    pred128_addr = b.mem.alloc_array(np.full(N * N, 128, dtype=np.uint8))
+
+    st.rgb2ycc(rgb_addr, rgb_addr + PIXELS, rgb_addr + 2 * PIXELS,
+               y_addr, cb_addr, cr_addr, PIXELS)
+    timer.close("rgb2ycc")
+    st.downsample2(cb_addr, WIDTH, HEIGHT, cbs_addr)
+    st.downsample2(cr_addr, WIDTH, HEIGHT, crs_addr)
+    timer.close("downsample")
+
+    plane_specs = (
+        (y_addr, WIDTH, HEIGHT), (cbs_addr, WIDTH // 2, HEIGHT // 2),
+        (crs_addr, WIDTH // 2, HEIGHT // 2),
+    )
+    coded: list[np.ndarray] = []
+    coefs_out = []
+    for base, w, h in plane_specs:
+        for by, bx in _plane_blocks(w, h):
+            sub = base + by * w + bx
+            st.residual8(sub, w, pred128_addr, N, block_addr)
+            timer.close("level_shift")
+            st.transform8(block_addr, coef_addr, FDCT_MAT, False)
+            timer.close("fdct")
+            st.quant8(coef_addr)
+            timer.close("quant")
+            coefs = b.mem.load_array(coef_addr, np.int16, N * N).reshape(N, N)
+            coded.append(coefs.copy())
+            coefs_out.append(coefs.copy())
+    st.scalar_section(_huffman_profile(coded), seed=0x7E)
+    timer.close("scalar_huffman")
+
+    outputs = {
+        "y": b.mem.load_array(y_addr, np.uint8, PIXELS).reshape(HEIGHT, WIDTH),
+        "coefs": np.stack(coefs_out),
+    }
+    return BuiltApp(builder=b, outputs=outputs, phases=timer.phases)
+
+
+def build_jpeg_decode(isa: str, scale: int = 1) -> BuiltApp:
+    r, g, bb = rgb_image(WIDTH, HEIGHT, scale=scale)
+    _planes, plane_blocks = _functional_encode(r, g, bb)
+    golden_rgb = _functional_decode(plane_blocks)
+    b, st = make_stages(isa)
+    timer = PhaseTimer(b)
+
+    y_addr = b.mem.alloc(PIXELS)
+    cbs_addr = b.mem.alloc(PIXELS // 4)
+    crs_addr = b.mem.alloc(PIXELS // 4)
+    cb_addr = b.mem.alloc(PIXELS)
+    cr_addr = b.mem.alloc(PIXELS)
+    out_r = b.mem.alloc(PIXELS)
+    out_g = b.mem.alloc(PIXELS)
+    out_b = b.mem.alloc(PIXELS)
+    coef_addr = b.mem.alloc(N * N * 2)
+    rec_addr = b.mem.alloc(N * N * 2)
+    pred128_addr = b.mem.alloc_array(np.full(N * N, 128, dtype=np.uint8))
+
+    all_coded = [blk for blocks in plane_blocks for blk in blocks]
+    st.scalar_section(_huffman_profile(all_coded), seed=0x7D)
+    timer.close("scalar_parse")
+
+    plane_specs = (
+        (y_addr, WIDTH, HEIGHT), (cbs_addr, WIDTH // 2, HEIGHT // 2),
+        (crs_addr, WIDTH // 2, HEIGHT // 2),
+    )
+    for (base, w, h), blocks in zip(plane_specs, plane_blocks):
+        for (by, bx), coef in zip(_plane_blocks(w, h), blocks):
+            b.mem.store_array(coef_addr, coef.astype(np.int16))
+            st.dequant8(coef_addr)
+            timer.close("dequant")
+            st.transform8(coef_addr, rec_addr, IDCT_MAT, True)
+            timer.close("idct")
+            st.addblock8(pred128_addr, N, rec_addr, base + by * w + bx, w)
+            timer.close("level_unshift")
+    st.upsample2(cbs_addr, WIDTH // 2, HEIGHT // 2, cb_addr)
+    st.upsample2(crs_addr, WIDTH // 2, HEIGHT // 2, cr_addr)
+    timer.close("upsample")
+    st.ycc2rgb(y_addr, cb_addr, cr_addr, out_r, out_g, out_b, PIXELS)
+    timer.close("ycc2rgb")
+
+    decoded = np.stack([
+        b.mem.load_array(a, np.uint8, PIXELS).reshape(HEIGHT, WIDTH)
+        for a in (out_r, out_g, out_b)
+    ])
+    outputs = {"decoded": decoded, "golden": np.stack(golden_rgb)}
+    return BuiltApp(builder=b, outputs=outputs, phases=timer.phases)
+
+
+register(AppSpec(
+    name="jpeg_encode",
+    description="Baseline-JPEG encoder (rgb2ycc, 4:2:0, FDCT, Huffman)",
+    build=build_jpeg_encode,
+))
+
+register(AppSpec(
+    name="jpeg_decode",
+    description="Baseline-JPEG decoder (IDCT, upsample, ycc2rgb)",
+    build=build_jpeg_decode,
+))

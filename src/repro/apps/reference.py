@@ -1,0 +1,102 @@
+"""Bit-exact numpy reference for every application stage.
+
+The decoder builds need the encoder's side data (motion vectors, quantized
+coefficients) before emitting their own traces, and the tests need golden
+outputs; both come from these functions, which mirror the fixed-point stage
+semantics of :mod:`repro.apps.stages` exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.idct import (N, OUT_MAX, OUT_MIN, PASS1_ROUND, PASS1_SHIFT,
+                            PASS2_ROUND, PASS2_SHIFT)
+from ..kernels.rgb2ycc import COMPONENTS as RGB2YCC
+from .stages import QUANT_SHIFT
+
+
+def transform8_ref(block: np.ndarray, mat: np.ndarray,
+                   clamp: bool) -> np.ndarray:
+    """Two-pass fixed-point transform, identical to ``stages.transform8``."""
+    x = block.astype(np.int64)
+    m = mat.astype(np.int64)
+    tmp = np.clip((m @ x + PASS1_ROUND) >> PASS1_SHIFT, -32768, 32767)
+    out = np.clip((tmp @ m.T + PASS2_ROUND) >> PASS2_SHIFT, -32768, 32767)
+    if clamp:
+        out = np.clip(out, OUT_MIN, OUT_MAX)
+    return out.astype(np.int16)
+
+
+def quant_ref(coef: np.ndarray) -> np.ndarray:
+    """``q = sign(x) * (|x| >> 4)``."""
+    c = coef.astype(np.int64)
+    return (np.sign(c) * (np.abs(c) >> QUANT_SHIFT)).astype(np.int16)
+
+
+def dequant_ref(q: np.ndarray) -> np.ndarray:
+    """``x = q << 4``."""
+    return (q.astype(np.int64) << QUANT_SHIFT).astype(np.int16)
+
+
+def sad_ref(a: np.ndarray, c: np.ndarray) -> int:
+    return int(np.abs(a.astype(np.int64) - c.astype(np.int64)).sum())
+
+
+def motion_search_ref(candidates: list[np.ndarray], blk: np.ndarray) -> int:
+    """Strictly-less first-minimum, matching the cmov idiom in the stages."""
+    best, best_index = 1 << 30, 0
+    for index, window in enumerate(candidates):
+        sad = sad_ref(window, blk)
+        if sad < best:
+            best, best_index = sad, index
+    return best_index
+
+
+def residual_ref(cur: np.ndarray, pred: np.ndarray) -> np.ndarray:
+    return (cur.astype(np.int64) - pred.astype(np.int64)).astype(np.int16)
+
+
+def addblock_ref(pred: np.ndarray, resid: np.ndarray) -> np.ndarray:
+    return np.clip(
+        pred.astype(np.int64) + resid.astype(np.int64), 0, 255
+    ).astype(np.uint8)
+
+
+def avg_ref(a: np.ndarray, c: np.ndarray) -> np.ndarray:
+    return ((a.astype(np.int64) + c.astype(np.int64) + 1) >> 1).astype(np.uint8)
+
+
+def rgb2ycc_ref(r: np.ndarray, g: np.ndarray, b: np.ndarray):
+    """Returns (y, cb, cr) uint8 planes."""
+    planes = []
+    r64, g64, b64 = (p.astype(np.int64) for p in (r, g, b))
+    for _name, kr, kg, kb, bias in RGB2YCC:
+        value = ((kr * r64 + kg * g64 + kb * b64 + 128) >> 8) + bias
+        planes.append(value.astype(np.uint8))
+    return tuple(planes)
+
+
+def ycc2rgb_ref(y: np.ndarray, cb: np.ndarray, cr: np.ndarray):
+    """Returns (r, g, b) uint8 planes, clamped like ``packushb``."""
+    y64 = y.astype(np.int64)
+    cbd = cb.astype(np.int64) - 128
+    crd = cr.astype(np.int64) - 128
+    r = y64 + ((179 * crd + 64) >> 7)
+    g = y64 + ((-44 * cbd - 91 * crd + 64) >> 7)
+    b = y64 + ((227 * cbd + 64) >> 7)
+    return tuple(np.clip(p, 0, 255).astype(np.uint8) for p in (r, g, b))
+
+
+def downsample2_ref(plane: np.ndarray) -> np.ndarray:
+    """Point-sampled 2:1 decimation."""
+    return plane[0::2, 0::2].copy()
+
+
+def upsample2_ref(plane: np.ndarray) -> np.ndarray:
+    """2x2 replication."""
+    return np.repeat(np.repeat(plane, 2, axis=0), 2, axis=1)
+
+
+def dot16_ref(a: np.ndarray, c: np.ndarray) -> int:
+    return int((a.astype(np.int64) * c.astype(np.int64)).sum())

@@ -1,0 +1,428 @@
+"""Per-ISA stage emitters composed by the application pipelines.
+
+The paper's methodology rewrites the hot functions of each Mediabench
+program against the emulation libraries and leaves the rest scalar.  These
+classes are those rewritten functions: every method emits instructions into
+the application's builder *and* performs the computation functionally, so
+application outputs can be validated end-to-end.
+
+Three implementations exist -- :class:`ScalarStages` (plain Alpha),
+:class:`MmxStages` and :class:`MomStages` -- matching the three full-program
+configurations of Figure 7 (the paper omits MDMX there, "as MDMX exhibits
+similar behavior to MMX").  All three produce bit-identical data for every
+stage, which the application tests assert.
+
+Fixed-point stage definitions (mirrored by the numpy reference in
+:mod:`repro.apps.reference`):
+
+* ``transform8`` -- the same two-pass 14-bit transform as the idct kernel,
+  parameterized by the constant matrix (IDCT uses ``M``, FDCT uses ``M.T``).
+* ``quant8`` -- ``q = sign(x) * (|x| >> 4)`` (quality step 16).
+* ``dequant8`` -- ``x = q << 4``.
+* ``rgb2ycc`` / ``ycc2rgb`` -- the 8-bit integer conversions documented in
+  the kernel and in :data:`YCC2RGB` below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..emulib.alpha_builder import emit_abs_diff
+from ..emulib.scalar_section import SectionProfile, emit_scalar_section
+from ..isa.model import ElemType
+from ..kernels.idct import (N, OUT_MAX, OUT_MIN, PASS1_ROUND, PASS1_SHIFT,
+                            PASS2_ROUND, PASS2_SHIFT, idct_matrix)
+from ..kernels.rgb2ycc import COMPONENTS as RGB2YCC
+
+#: ycc2rgb integer coefficients: value = clamp(Y + (sum + 64) >> 7).
+#: (name, cY, cCb, cCr) with Cb/Cr pre-biased by -128.
+YCC2RGB = (
+    ("r", 179),          # R = Y + (179 * (Cr - 128) + 64) >> 7
+    ("g", (-44, -91)),   # G = Y + (-44*(Cb-128) - 91*(Cr-128) + 64) >> 7
+    ("b", 227),          # B = Y + (227 * (Cb - 128) + 64) >> 7
+)
+
+IDCT_MAT = idct_matrix()
+FDCT_MAT = IDCT_MAT.T.copy()
+
+BLOCK16 = 16
+QUANT_SHIFT = 4
+
+
+class ScalarStages:
+    """Stage emitters for the pure-Alpha configuration."""
+
+    isa = "alpha"
+
+    def __init__(self, b) -> None:
+        self.b = b
+        # Persistent scalar working registers shared by all stages.
+        self.z = b.ireg(0)
+        self.r = [b.ireg() for _ in range(10)]
+        self._scratch8 = b.mem.alloc(N * N * 2)
+
+    # --- generic helpers -----------------------------------------------------
+
+    def scalar_section(self, profile: SectionProfile, seed: int = 1) -> None:
+        emit_scalar_section(self.b, profile, seed)
+
+    # --- motion estimation -----------------------------------------------------
+
+    def sad16(self, ref_addr: int, ref_stride: int, blk_addr: int,
+              blk_stride: int, out):
+        """SAD of one 16x16 block pair into integer register ``out``."""
+        b = self.b
+        pa, pb, va, vb, d, scr, rows = self.r[:7]
+        site = b.site()
+        b.li(pa, ref_addr)
+        b.li(pb, blk_addr)
+        b.li(out, 0)
+        b.li(rows, BLOCK16)
+        for _row in range(BLOCK16):
+            for i in range(BLOCK16):
+                b.ldbu(va, pa, i)
+                b.ldbu(vb, pb, i)
+                emit_abs_diff(b, d, va, vb, scr)
+                b.addq(out, out, d)
+            b.addi(pa, pa, ref_stride)
+            b.addi(pb, pb, blk_stride)
+            b.subi(rows, rows, 1)
+            b.bne(rows, site)
+        return out
+
+    def motion_search(self, candidates: list[int], ref_stride: int,
+                      blk_addr: int, blk_stride: int) -> int:
+        """SADs over candidate addresses; returns the best index."""
+        b = self.b
+        s, best, besti, tmp, cand = (self.r[7], b.ireg(1 << 30), b.ireg(0),
+                                     self.r[8], self.r[9])
+        for index, addr in enumerate(candidates):
+            self.sad16(addr, ref_stride, blk_addr, blk_stride, s)
+            b.li(cand, index)
+            b.cmplt(tmp, s, best)
+            b.cmovne(best, tmp, s)
+            b.cmovne(besti, tmp, cand)
+        winner = int(besti.value)
+        b.free(best)
+        b.free(besti)
+        return winner
+
+    # --- block movement ----------------------------------------------------------
+
+    def copy_block(self, src: int, sstride: int, dst: int, dstride: int,
+                   h: int, w: int) -> None:
+        b = self.b
+        ps, pd, v = self.r[:3]
+        b.li(ps, src)
+        b.li(pd, dst)
+        site = b.site()
+        rows = self.r[3]
+        b.li(rows, h)
+        for _ in range(h):
+            for x in range(0, w, 8):
+                b.ldq(v, ps, x)
+                b.stq(v, pd, x)
+            b.addi(ps, ps, sstride)
+            b.addi(pd, pd, dstride)
+            b.subi(rows, rows, 1)
+            b.bne(rows, site)
+
+    def avg_block(self, a: int, astride: int, c: int, cstride: int,
+                  dst: int, dstride: int, h: int, w: int) -> None:
+        """dst = (a + c + 1) >> 1 per pixel (motion compensation)."""
+        b = self.b
+        pa, pc, pd, va, vc, rows = self.r[:6]
+        b.li(pa, a)
+        b.li(pc, c)
+        b.li(pd, dst)
+        b.li(rows, h)
+        site = b.site()
+        for _ in range(h):
+            for x in range(w):
+                b.ldbu(va, pa, x)
+                b.ldbu(vc, pc, x)
+                b.addq(va, va, vc)
+                b.addi(va, va, 1)
+                b.srl(va, va, 1)
+                b.stb(va, pd, x)
+            b.addi(pa, pa, astride)
+            b.addi(pc, pc, cstride)
+            b.addi(pd, pd, dstride)
+            b.subi(rows, rows, 1)
+            b.bne(rows, site)
+
+    # --- residual / reconstruction ----------------------------------------------------
+
+    def residual8(self, cur: int, cstride: int, pred: int, pstride: int,
+                  dst: int) -> None:
+        """dst (int16 8x8, contiguous) = cur - pred."""
+        b = self.b
+        pc, pp, pd, vc, vp, rows = self.r[:6]
+        b.li(pc, cur)
+        b.li(pp, pred)
+        b.li(pd, dst)
+        b.li(rows, N)
+        site = b.site()
+        for _ in range(N):
+            for x in range(N):
+                b.ldbu(vc, pc, x)
+                b.ldbu(vp, pp, x)
+                b.subq(vc, vc, vp)
+                b.stw(vc, pd, 2 * x)
+            b.addi(pc, pc, cstride)
+            b.addi(pp, pp, pstride)
+            b.addi(pd, pd, 2 * N)
+            b.subi(rows, rows, 1)
+            b.bne(rows, site)
+
+    def addblock8(self, pred: int, pstride: int, resid: int, dst: int,
+                  dstride: int) -> None:
+        """dst = clamp(pred + resid) via the mpeg2play memory table."""
+        b = self.b
+        if not hasattr(self, "_clamp_tab"):
+            table = np.clip(np.arange(767) - 256, 0, 255).astype(np.uint8)
+            self._clamp_tab = b.mem.alloc_array(table) + 256
+        pp, pr, pd, vp, vr, idx, rows = self.r[:7]
+        tab = self.r[7]
+        b.li(tab, self._clamp_tab)
+        b.li(pp, pred)
+        b.li(pr, resid)
+        b.li(pd, dst)
+        b.li(rows, N)
+        site = b.site()
+        for _ in range(N):
+            for x in range(N):
+                b.ldbu(vp, pp, x)
+                b.ldwu(vr, pr, 2 * x)
+                b.sextw(vr, vr)
+                b.addq(vp, vp, vr)
+                b.addq(idx, tab, vp)
+                b.ldbu(vp, idx, 0)
+                b.stb(vp, pd, x)
+            b.addi(pp, pp, pstride)
+            b.addi(pr, pr, 2 * N)
+            b.addi(pd, pd, dstride)
+            b.subi(rows, rows, 1)
+            b.bne(rows, site)
+
+    # --- transforms ----------------------------------------------------------------------
+
+    def transform8(self, src: int, dst: int, mat: np.ndarray,
+                   clamp: bool) -> None:
+        """Two-pass fixed-point 8x8 transform (IDCT with ``mat=IDCT_MAT``,
+        FDCT with ``mat=FDCT_MAT``)."""
+        b = self.b
+        v, c, prod, s, psrc, pdst, t = self.r[:7]
+        lo, hi = self.r[7], self.r[8]
+        b.li(lo, OUT_MIN)
+        b.li(hi, OUT_MAX)
+        site = b.site()
+
+        def one_pass(sbase, dbase, rnd, shift, column, do_clamp):
+            cnt = 0
+            for xo in range(N):
+                for yo in range(N):
+                    b.li(s, rnd)
+                    for u in range(N):
+                        off = (u * N + yo) if column else (yo * N + u)
+                        b.li(psrc, sbase + 2 * off)
+                        b.ldwu(v, psrc, 0)
+                        b.sextw(v, v)
+                        b.li(c, int(mat[xo][u]))
+                        b.mulq(prod, v, c)
+                        b.addq(s, s, prod)
+                    b.sra(s, s, shift)
+                    if do_clamp:
+                        b.cmplt(t, s, lo)
+                        b.cmovne(s, t, lo)
+                        b.cmplt(t, hi, s)
+                        b.cmovne(s, t, hi)
+                    off = (xo * N + yo) if column else (yo * N + xo)
+                    b.li(pdst, dbase + 2 * off)
+                    b.stw(s, pdst, 0)
+                    cnt += 1
+                    if cnt % 8 == 0:
+                        b.li(t, 1 if cnt == 64 else 0)
+                        b.beq(t, site)
+
+        one_pass(src, self._scratch8, PASS1_ROUND, PASS1_SHIFT, True, False)
+        one_pass(self._scratch8, dst, PASS2_ROUND, PASS2_SHIFT, False, clamp)
+
+    # --- quantization -----------------------------------------------------------------------
+
+    def quant8(self, addr: int) -> None:
+        """In-place ``q = sign(x) * (|x| >> 4)`` over 64 int16 coefficients."""
+        b = self.b
+        p, v, neg, sign, cnt = self.r[:5]
+        b.li(p, addr)
+        b.li(cnt, N)
+        site = b.site()
+        for row in range(N):
+            for x in range(N):
+                b.ldwu(v, p, 2 * x)
+                b.sextw(v, v)
+                b.mov(sign, v)
+                b.subq(neg, self.z, v)
+                b.cmovlt(v, v, neg)            # v = |x|
+                b.srl(v, v, QUANT_SHIFT)
+                b.subq(neg, self.z, v)
+                b.cmovlt(v, sign, neg)         # restore sign
+                b.stw(v, p, 2 * x)
+            b.addi(p, p, 2 * N)
+            b.subi(cnt, cnt, 1)
+            b.bne(cnt, site)
+
+    def dequant8(self, addr: int) -> None:
+        """In-place ``x = q << 4``."""
+        b = self.b
+        p, v, cnt = self.r[:3]
+        b.li(p, addr)
+        b.li(cnt, N)
+        site = b.site()
+        for row in range(N):
+            for x in range(N):
+                b.ldwu(v, p, 2 * x)
+                b.sextw(v, v)
+                b.sll(v, v, QUANT_SHIFT)
+                b.stw(v, p, 2 * x)
+            b.addi(p, p, 2 * N)
+            b.subi(cnt, cnt, 1)
+            b.bne(cnt, site)
+
+    # --- colour conversion -----------------------------------------------------------------------
+
+    def rgb2ycc(self, r: int, g: int, bb: int, y: int, cb: int, cr: int,
+                n: int) -> None:
+        b = self.b
+        vr, vg, vb, c, prod, s, cnt = self.r[:7]
+        ptrs = {"r": r, "g": g, "b": bb}
+        outs = {"y": y, "cb": cb, "cr": cr}
+        pr, pg, pb = b.ireg(r), b.ireg(g), b.ireg(bb)
+        site = b.site()
+        b.li(cnt, n // 4)
+        for i in range(n):
+            b.ldbu(vr, pr, i)
+            b.ldbu(vg, pg, i)
+            b.ldbu(vb, pb, i)
+            for name, kr, kg, kb, bias in RGB2YCC:
+                b.li(c, kr)
+                b.mulq(s, vr, c)
+                b.li(c, kg)
+                b.mulq(prod, vg, c)
+                b.addq(s, s, prod)
+                b.li(c, kb)
+                b.mulq(prod, vb, c)
+                b.addq(s, s, prod)
+                b.addi(s, s, 128)
+                b.sra(s, s, 8)
+                if bias:
+                    b.addi(s, s, bias)
+                po = self.r[8]
+                b.li(po, outs[name] + i)
+                b.stb(s, po, 0)
+            if i % 4 == 3:
+                b.subi(cnt, cnt, 1)
+                b.bne(cnt, site)
+        for reg in (pr, pg, pb):
+            b.free(reg)
+
+    def ycc2rgb(self, y: int, cb: int, cr: int, r: int, g: int, bb: int,
+                n: int) -> None:
+        b = self.b
+        vy, vcb, vcr, c, prod, s, t, cnt = self.r[:8]
+        site = b.site()
+        py, pcb, pcr = b.ireg(y), b.ireg(cb), b.ireg(cr)
+        pout = self.r[8]
+        b.li(cnt, n // 4)
+        for i in range(n):
+            b.ldbu(vy, py, i)
+            b.ldbu(vcb, pcb, i)
+            b.ldbu(vcr, pcr, i)
+            b.addi(vcb, vcb, -128)
+            b.addi(vcr, vcr, -128)
+            for name, dst in (("r", r), ("g", g), ("b", bb)):
+                if name == "r":
+                    b.li(c, 179)
+                    b.mulq(s, vcr, c)
+                elif name == "b":
+                    b.li(c, 227)
+                    b.mulq(s, vcb, c)
+                else:
+                    b.li(c, -44)
+                    b.mulq(s, vcb, c)
+                    b.li(c, -91)
+                    b.mulq(prod, vcr, c)
+                    b.addq(s, s, prod)
+                b.addi(s, s, 64)
+                b.sra(s, s, 7)
+                b.addq(s, s, vy)
+                b.cmovlt(s, s, self.z)                 # clamp low
+                b.li(t, 255)
+                b.cmplt(prod, t, s)
+                b.cmovne(s, prod, t)                   # clamp high
+                b.li(pout, dst + i)
+                b.stb(s, pout, 0)
+            if i % 4 == 3:
+                b.subi(cnt, cnt, 1)
+                b.bne(cnt, site)
+        for reg in (py, pcb, pcr):
+            b.free(reg)
+
+    # --- resampling -------------------------------------------------------------------------------
+
+    def downsample2(self, src: int, w: int, h: int, dst: int) -> None:
+        """Point-sampled 2:1 decimation in both axes (4:2:0 chroma)."""
+        b = self.b
+        ps, pd, v, cnt = self.r[:4]
+        site = b.site()
+        b.li(cnt, h // 2)
+        for y in range(0, h, 2):
+            b.li(ps, src + y * w)
+            b.li(pd, dst + (y // 2) * (w // 2))
+            for x in range(0, w, 2):
+                b.ldbu(v, ps, x)
+                b.stb(v, pd, x // 2)
+            b.subi(cnt, cnt, 1)
+            b.bne(cnt, site)
+
+    def upsample2(self, src: int, w: int, h: int, dst: int) -> None:
+        """2x2 pixel replication (the h2v2 kernel's job)."""
+        b = self.b
+        pi, po0, po1, v, cnt = self.r[:5]
+        ow = 2 * w
+        site = b.site()
+        b.li(cnt, h)
+        for y in range(h):
+            b.li(pi, src + y * w)
+            b.li(po0, dst + (2 * y) * ow)
+            b.li(po1, dst + (2 * y + 1) * ow)
+            for x in range(w):
+                b.ldbu(v, pi, x)
+                b.stb(v, po0, 2 * x)
+                b.stb(v, po0, 2 * x + 1)
+                b.stb(v, po1, 2 * x)
+                b.stb(v, po1, 2 * x + 1)
+            b.subi(cnt, cnt, 1)
+            b.bne(cnt, site)
+
+    # --- dot products (GSM) -----------------------------------------------------------------------------
+
+    def dot16(self, a: int, c: int, n: int, out) -> None:
+        """out = sum of products of two int16 vectors of length ``n``."""
+        b = self.b
+        pa, pc, va, vc, prod, cnt = self.r[:6]
+        b.li(pa, a)
+        b.li(pc, c)
+        b.li(out, 0)
+        b.li(cnt, n // 4)
+        site = b.site()
+        for k in range(n):
+            b.ldwu(va, pa, 2 * k)
+            b.sextw(va, va)
+            b.ldwu(vc, pc, 2 * k)
+            b.sextw(vc, vc)
+            b.mulq(prod, va, vc)
+            b.addq(out, out, prod)
+            if k % 4 == 3:
+                b.subi(cnt, cnt, 1)
+                b.bne(cnt, site)

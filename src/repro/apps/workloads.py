@@ -1,0 +1,67 @@
+"""Synthetic workload generators standing in for the Mediabench inputs.
+
+The paper uses ``mei16v2rec`` (four 352x480 frames), ``penguin.ppm``
+(1024x739) and ``clinton.pcm``.  Those files are not redistributable here,
+so we synthesize structurally-similar data at simulator-friendly sizes:
+
+* video: frames containing textured moving objects over a gradient
+  background, so motion estimation finds genuine matches at non-zero
+  displacements;
+* image: smooth colour gradients with structured detail, giving realistic
+  DCT energy compaction (most post-quantization blocks sparse but nonzero);
+* audio: band-limited speech-like 13-bit PCM with pitch periodicity inside
+  the GSM LTP lag range, so the lag search has a real peak to find.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..kernels.common import rng_for
+
+
+def video_frames(width: int = 32, height: int = 32, count: int = 2,
+                 scale: int = 1) -> np.ndarray:
+    """``count`` uint8 frames with a moving textured square."""
+    rng = rng_for("video", scale)
+    yy, xx = np.mgrid[0:height, 0:width]
+    background = ((xx * 3 + yy * 5) % 197).astype(np.int32)
+    texture = rng.integers(0, 64, (12, 12), dtype=np.int32)
+    frames = []
+    for t in range(count):
+        frame = background + rng.integers(0, 4, background.shape)
+        ox = (4 + 2 * t) % (width - 12)
+        oy = (6 + t) % (height - 12)
+        frame[oy : oy + 12, ox : ox + 12] = 120 + texture
+        frames.append(np.clip(frame, 0, 255).astype(np.uint8))
+    return np.stack(frames)
+
+
+def rgb_image(width: int = 32, height: int = 32, scale: int = 1):
+    """Planar RGB test image (returns r, g, b uint8 planes)."""
+    rng = rng_for("image", scale)
+    yy, xx = np.mgrid[0:height, 0:width]
+    r = (xx * 255 // max(1, width - 1)).astype(np.int32)
+    g = (yy * 255 // max(1, height - 1)).astype(np.int32)
+    b = ((xx + yy) * 127 // max(1, width + height - 2)).astype(np.int32)
+    detail = rng.integers(-24, 25, (height, width))
+    planes = []
+    for plane in (r, g, b):
+        planes.append(np.clip(plane + detail, 0, 255).astype(np.uint8))
+    return planes[0], planes[1], planes[2]
+
+
+def pcm_audio(frames: int = 2, scale: int = 1) -> np.ndarray:
+    """Speech-like 13-bit PCM: pitched harmonics + noise, int16."""
+    rng = rng_for("audio", scale)
+    n = frames * 160
+    t = np.arange(n)
+    pitch_period = 55                      # inside the GSM lag range 40..120
+    signal = (
+        1200 * np.sin(2 * np.pi * t / pitch_period)
+        + 500 * np.sin(2 * np.pi * t / (pitch_period / 2.0) + 0.7)
+        + 200 * np.sin(2 * np.pi * t / 7.3)
+    )
+    envelope = 0.5 + 0.5 * np.sin(2 * np.pi * t / (n / 2.0)) ** 2
+    noisy = signal * envelope + rng.normal(0, 60, n)
+    return np.clip(noisy, -4096, 4095).astype(np.int16)

@@ -1,0 +1,10 @@
+"""The paper's contribution: the MOM matrix-oriented multimedia ISA."""
+
+from .mom_isa import ACC_BITS, MATRIX_ROWS, MOM, ROW_BITS
+from .matrix import MomRegister
+from .accumulator import PackedAccumulator, PipelinedAccumulation
+
+__all__ = [
+    "ACC_BITS", "MATRIX_ROWS", "MOM", "ROW_BITS",
+    "MomRegister", "PackedAccumulator", "PipelinedAccumulation",
+]

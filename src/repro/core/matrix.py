@@ -1,0 +1,130 @@
+"""The MOM matrix register: a 16-row matrix of 64-bit packed words.
+
+A MOM register (Section 2.2 of the paper) holds two dimensions of data-level
+parallelism at once:
+
+* the *intra-word* dimension -- each 64-bit row is an MMX-style packed word
+  of 8/4/2 sub-word lanes, and
+* the *inter-word* dimension -- up to 16 rows, selected by the vector length
+  (VL) register, loaded from memory with an arbitrary byte stride between
+  consecutive rows.
+
+This module gives the matrix register a convenient numpy-backed value type
+used by the functional emulation library, the MOM builder and the tests.
+The timing simulator never touches values; it only sees instruction records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.model import ElemType
+from . import packed
+from .mom_isa import MATRIX_ROWS
+
+
+class MomRegister:
+    """Value of one MOM matrix register: 16 rows x 64 bits.
+
+    The register is mutable (the emulation library updates rows in place) and
+    always stores all 16 rows; instructions shorter than the full register
+    simply leave rows at and beyond VL untouched, as the hardware would.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows=None) -> None:
+        if rows is None:
+            self.rows = np.zeros(MATRIX_ROWS, dtype=np.uint64)
+        else:
+            arr = np.asarray(rows, dtype=np.uint64)
+            if arr.shape != (MATRIX_ROWS,):
+                raise ValueError(
+                    f"a MOM register has exactly {MATRIX_ROWS} rows, got {arr.shape}"
+                )
+            self.rows = arr.copy()
+
+    # --- construction helpers --------------------------------------------
+
+    @classmethod
+    def from_lane_matrix(cls, lanes: np.ndarray, elem: ElemType) -> "MomRegister":
+        """Build a register from a ``(rows, lanes)`` matrix of lane values.
+
+        Rows beyond the supplied matrix are zero.  Lane values are truncated
+        to the lane width (two's complement).
+        """
+        lanes = np.asarray(lanes)
+        if lanes.ndim != 2 or lanes.shape[1] != elem.lanes:
+            raise ValueError(
+                f"expected (rows, {elem.lanes}) lane matrix, got {lanes.shape}"
+            )
+        if lanes.shape[0] > MATRIX_ROWS:
+            raise ValueError(f"at most {MATRIX_ROWS} rows fit a MOM register")
+        reg = cls()
+        reg.rows[: lanes.shape[0]] = packed.from_lanes(lanes)
+        return reg
+
+    def to_lane_matrix(self, elem: ElemType, signed: bool = False) -> np.ndarray:
+        """View the register as a ``(16, lanes)`` matrix of lane values."""
+        return packed.to_lanes(self.rows, elem, signed=signed)
+
+    def copy(self) -> "MomRegister":
+        return MomRegister(self.rows)
+
+    # --- row access ---------------------------------------------------------
+
+    def get_row(self, index: int) -> int:
+        """Read one 64-bit row as a Python int."""
+        return int(self.rows[index])
+
+    def set_row(self, index: int, value: int) -> None:
+        """Write one 64-bit row."""
+        self.rows[index] = np.uint64(value & 0xFFFF_FFFF_FFFF_FFFF)
+
+    # --- matrix-level transforms ----------------------------------------------
+
+    def transpose_blocks(self, elem: ElemType) -> "MomRegister":
+        """Transpose square lane blocks in place down the register.
+
+        This is the ``momtrans{b,h,w}`` primitive the paper highlights for
+        "switching vector dimensions without pack/unpack operations".  The
+        register is treated as consecutive square blocks of ``lanes x lanes``
+        elements (8x8 bytes, 4x4 halfwords or 2x2 words); each block is
+        transposed independently.  16 rows always divide evenly into blocks.
+        """
+        lanes = elem.lanes
+        if lanes == 1:
+            return self.copy()
+        mat = self.to_lane_matrix(elem)
+        out = np.empty_like(mat)
+        for base in range(0, MATRIX_ROWS, lanes):
+            block = mat[base : base + lanes]
+            out[base : base + lanes] = block.T
+        return MomRegister(packed.from_lanes(out))
+
+    def row_shift(self, towards_zero: bool) -> "MomRegister":
+        """Shift rows by one position, filling the vacated row with zero.
+
+        ``towards_zero=True`` implements ``momrowshl`` (row i <- row i+1),
+        ``False`` implements ``momrowshr`` (row i+1 <- row i).
+        """
+        out = np.zeros_like(self.rows)
+        if towards_zero:
+            out[:-1] = self.rows[1:]
+        else:
+            out[1:] = self.rows[:-1]
+        return MomRegister(out)
+
+    # --- comparisons -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MomRegister):
+            return NotImplemented
+        return bool(np.array_equal(self.rows, other.rows))
+
+    def __hash__(self) -> int:  # registers are mutable; hash by identity
+        return id(self)
+
+    def __repr__(self) -> str:
+        head = ", ".join(f"{int(r):#x}" for r in self.rows[:3])
+        return f"MomRegister([{head}, ...])"

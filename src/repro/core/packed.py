@@ -1,0 +1,325 @@
+"""Packed (sub-word) fixed-point arithmetic on 64-bit words.
+
+This module supplies the functional semantics shared by the MMX, MDMX and
+MOM emulation libraries: every media instruction ultimately reduces to one of
+these operations applied to one 64-bit word (MMX/MDMX) or to each of the VL
+rows of a matrix register (MOM).
+
+Representation
+--------------
+A packed word is a ``numpy.uint64``.  Arrays of packed words (a MOM matrix
+register is an array of 16) work transparently: every function accepts
+``numpy`` arrays of any shape with ``dtype=uint64`` and returns an array of
+the same shape.  Lane access uses little-endian ``view`` reinterpretation,
+i.e. byte lane 0 is the least significant byte, matching how the kernels lay
+data out in the byte-addressable :class:`repro.emulib.memory.Memory`.
+
+Element types
+-------------
+Operations are parameterized by :class:`repro.isa.model.ElemType`:
+``B`` = 8x8-bit, ``H`` = 4x16-bit, ``W`` = 2x32-bit, ``Q`` = 1x64-bit.
+
+All arithmetic matches the saturating fixed-point behaviour of the modeled
+ISAs; intermediate products are computed at full precision before any
+truncation, exactly as hardware would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.model import ElemType
+
+#: numpy dtypes used to reinterpret a packed uint64 word, per element type.
+_UNSIGNED_DTYPE = {
+    ElemType.B: np.uint8,
+    ElemType.H: np.uint16,
+    ElemType.W: np.uint32,
+    ElemType.Q: np.uint64,
+}
+_SIGNED_DTYPE = {
+    ElemType.B: np.int8,
+    ElemType.H: np.int16,
+    ElemType.W: np.int32,
+    ElemType.Q: np.int64,
+}
+
+#: Saturation bounds per element type: (signed_min, signed_max, unsigned_max).
+_BOUNDS = {
+    ElemType.B: (-(1 << 7), (1 << 7) - 1, (1 << 8) - 1),
+    ElemType.H: (-(1 << 15), (1 << 15) - 1, (1 << 16) - 1),
+    ElemType.W: (-(1 << 31), (1 << 31) - 1, (1 << 32) - 1),
+    ElemType.Q: (-(1 << 63), (1 << 63) - 1, (1 << 64) - 1),
+}
+
+
+def _as_words(a) -> np.ndarray:
+    """Coerce ``a`` (int or array-like) to a contiguous uint64 array.
+
+    0-d inputs stay 0-d so scalar operations round-trip through ``int()``.
+    """
+    arr = np.asarray(a, dtype=np.uint64)
+    if arr.ndim and not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    return arr
+
+
+def to_lanes(a, elem: ElemType, signed: bool = False) -> np.ndarray:
+    """Unpack 64-bit words into sub-word lanes.
+
+    Args:
+        a: scalar or array of packed uint64 words, any shape ``S``.
+        elem: lane width selector.
+        signed: reinterpret lanes as two's-complement signed values.
+
+    Returns:
+        Array of shape ``S + (lanes,)`` with the lane dtype.
+    """
+    words = _as_words(a)
+    dtype = _SIGNED_DTYPE[elem] if signed else _UNSIGNED_DTYPE[elem]
+    return words.reshape(words.shape + (1,)).view(dtype)
+
+
+def from_lanes(lanes: np.ndarray) -> np.ndarray:
+    """Repack a lane array (as produced by :func:`to_lanes`) into uint64 words.
+
+    The trailing axis is collapsed; lane values are masked to their width so
+    callers may pass wider intermediate dtypes.
+    """
+    lanes = np.asarray(lanes)
+    lane_bits = 64 // lanes.shape[-1]
+    mask = np.uint64((1 << lane_bits) - 1)
+    unsigned = lanes.astype(np.uint64) & mask
+    shifts = np.arange(lanes.shape[-1], dtype=np.uint64) * np.uint64(lane_bits)
+    return (unsigned << shifts).sum(axis=-1, dtype=np.uint64)
+
+
+def saturate(values: np.ndarray, elem: ElemType, signed: bool) -> np.ndarray:
+    """Clamp ``values`` (a wide-dtype lane array) to the lane's numeric range."""
+    smin, smax, umax = _BOUNDS[elem]
+    if signed:
+        return np.clip(values, smin, smax)
+    return np.clip(values, 0, umax)
+
+
+def _binary_wide(a, b, elem: ElemType, signed: bool):
+    """Unpack both operands into int64 lanes for overflow-free arithmetic."""
+    la = to_lanes(a, elem, signed=signed).astype(np.int64)
+    lb = to_lanes(b, elem, signed=signed).astype(np.int64)
+    return la, lb
+
+
+# --- add / subtract ----------------------------------------------------------
+
+def add_wrap(a, b, elem: ElemType) -> np.ndarray:
+    """Packed modular (wraparound) addition."""
+    la, lb = _binary_wide(a, b, elem, signed=False)
+    return from_lanes(la + lb)
+
+
+def add_sat(a, b, elem: ElemType, signed: bool) -> np.ndarray:
+    """Packed saturating addition (signed or unsigned)."""
+    la, lb = _binary_wide(a, b, elem, signed=signed)
+    return from_lanes(saturate(la + lb, elem, signed))
+
+
+def sub_wrap(a, b, elem: ElemType) -> np.ndarray:
+    """Packed modular (wraparound) subtraction."""
+    la, lb = _binary_wide(a, b, elem, signed=False)
+    return from_lanes(la - lb)
+
+
+def sub_sat(a, b, elem: ElemType, signed: bool) -> np.ndarray:
+    """Packed saturating subtraction (signed or unsigned)."""
+    la, lb = _binary_wide(a, b, elem, signed=signed)
+    return from_lanes(saturate(la - lb, elem, signed))
+
+
+# --- multiply ----------------------------------------------------------------
+
+def mul_low(a, b, elem: ElemType) -> np.ndarray:
+    """Packed multiply keeping the low half of each signed product."""
+    la, lb = _binary_wide(a, b, elem, signed=True)
+    return from_lanes(la * lb)
+
+
+def mul_high(a, b, elem: ElemType, signed: bool = True) -> np.ndarray:
+    """Packed multiply keeping the high half of each product."""
+    la, lb = _binary_wide(a, b, elem, signed=signed)
+    bits = elem.bits
+    return from_lanes((la * lb) >> bits)
+
+
+def mul_add_pairs(a, b) -> np.ndarray:
+    """MMX ``pmaddh``: multiply 16-bit lanes, sum adjacent pairs into 32-bit.
+
+    ``result.w[i] = a.h[2i]*b.h[2i] + a.h[2i+1]*b.h[2i+1]`` (signed, full
+    precision -- the 33-bit worst case wraps into the 32-bit lane as on x86).
+    """
+    la, lb = _binary_wide(a, b, ElemType.H, signed=True)
+    prod = la * lb
+    pairs = prod[..., 0::2] + prod[..., 1::2]
+    return from_lanes(pairs)
+
+
+# --- average / absolute difference --------------------------------------------
+
+def avg_round(a, b, elem: ElemType) -> np.ndarray:
+    """Packed rounded average of unsigned lanes: ``(a + b + 1) >> 1``."""
+    la, lb = _binary_wide(a, b, elem, signed=False)
+    return from_lanes((la + lb + 1) >> 1)
+
+
+def absdiff(a, b, elem: ElemType) -> np.ndarray:
+    """Packed absolute difference of unsigned lanes."""
+    la, lb = _binary_wide(a, b, elem, signed=False)
+    return from_lanes(np.abs(la - lb))
+
+
+def sad(a, b, elem: ElemType = ElemType.B) -> np.ndarray:
+    """Sum of absolute differences, reduced into lane 0 of the result word."""
+    la, lb = _binary_wide(a, b, elem, signed=False)
+    total = np.abs(la - lb).sum(axis=-1)
+    return total.astype(np.uint64)
+
+
+def abs_packed(a, elem: ElemType) -> np.ndarray:
+    """Packed absolute value of signed lanes (saturating ``abs(min)``)."""
+    la = to_lanes(a, elem, signed=True).astype(np.int64)
+    return from_lanes(saturate(np.abs(la), elem, signed=True))
+
+
+# --- min / max ------------------------------------------------------------------
+
+def minmax(a, b, elem: ElemType, signed: bool, take_max: bool) -> np.ndarray:
+    """Packed lane-wise minimum or maximum."""
+    la, lb = _binary_wide(a, b, elem, signed=signed)
+    return from_lanes(np.maximum(la, lb) if take_max else np.minimum(la, lb))
+
+
+# --- compares / select ------------------------------------------------------------
+
+def cmp_mask(a, b, elem: ElemType, op: str) -> np.ndarray:
+    """Packed compare producing an all-ones / all-zeros lane mask.
+
+    Args:
+        op: ``"eq"`` for equality or ``"gt"`` for signed greater-than.
+    """
+    signed = op == "gt"
+    la, lb = _binary_wide(a, b, elem, signed=signed)
+    if op == "eq":
+        hit = la == lb
+    elif op == "gt":
+        hit = la > lb
+    else:
+        raise ValueError(f"unknown compare op {op!r}")
+    umax = _BOUNDS[elem][2]
+    return from_lanes(np.where(hit, umax, 0))
+
+
+def select(mask, a, b) -> np.ndarray:
+    """Bitwise select: ``(mask & a) | (~mask & b)`` (the ``pcmov`` primitive)."""
+    m = _as_words(mask)
+    wa = _as_words(a)
+    wb = _as_words(b)
+    return (m & wa) | (~m & wb)
+
+
+# --- shifts --------------------------------------------------------------------------
+
+def shift(a, count: int, elem: ElemType, kind: str) -> np.ndarray:
+    """Packed shift of every lane by an immediate count.
+
+    Args:
+        kind: ``"sll"`` (left logical), ``"srl"`` (right logical) or
+            ``"sra"`` (right arithmetic).  Counts >= lane width produce 0
+            (or the sign fill for ``sra``), as on real hardware.
+    """
+    if count < 0:
+        raise ValueError("shift count must be non-negative")
+    bits = elem.bits
+    if kind == "sra":
+        la = to_lanes(a, elem, signed=True).astype(np.int64)
+        eff = min(count, bits - 1)
+        return from_lanes(la >> eff)
+    la = to_lanes(a, elem, signed=False).astype(np.uint64)
+    if count >= bits:
+        return from_lanes(np.zeros_like(la))
+    if kind == "sll":
+        return from_lanes(la << np.uint64(count))
+    if kind == "srl":
+        return from_lanes(la >> np.uint64(count))
+    raise ValueError(f"unknown shift kind {kind!r}")
+
+
+# --- pack / unpack ----------------------------------------------------------------------
+
+_NARROW = {ElemType.H: ElemType.B, ElemType.W: ElemType.H}
+
+
+def pack_sat(a, b, elem: ElemType, signed: bool) -> np.ndarray:
+    """Narrow two words into one with saturation (``packsshb`` family).
+
+    Lanes of ``a`` fill the low half of the result, lanes of ``b`` the high
+    half, each saturated to the next-narrower element type.
+    """
+    narrow = _NARROW[elem]
+    la = to_lanes(a, elem, signed=True).astype(np.int64)
+    lb = to_lanes(b, elem, signed=True).astype(np.int64)
+    merged = np.concatenate([la, lb], axis=-1)
+    return from_lanes(saturate(merged, narrow, signed))
+
+
+def unpack_interleave(a, b, elem: ElemType, high: bool) -> np.ndarray:
+    """Interleave low (or high) lanes of two words (``punpckl*``/``punpckh*``).
+
+    ``result`` alternates lanes ``a[i], b[i]`` starting from the low (or
+    high) half of the sources; the result has the same lane width, so half
+    the source lanes of each word survive.
+    """
+    la = to_lanes(a, elem, signed=False)
+    lb = to_lanes(b, elem, signed=False)
+    lanes = elem.lanes
+    half = lanes // 2
+    sel = slice(half, lanes) if high else slice(0, half)
+    out = np.empty(la.shape[:-1] + (lanes,), dtype=la.dtype)
+    out[..., 0::2] = la[..., sel]
+    out[..., 1::2] = lb[..., sel]
+    return from_lanes(out)
+
+
+def shuffle_halves(a, order: tuple[int, int, int, int]) -> np.ndarray:
+    """Rearrange the four 16-bit lanes of each word (``pshufh``)."""
+    if len(order) != 4:
+        raise ValueError("order must have four entries")
+    if any(not 0 <= i < 4 for i in order):
+        raise ValueError("shuffle indices must be in range(4)")
+    la = to_lanes(a, ElemType.H, signed=False)
+    return from_lanes(la[..., list(order)])
+
+
+# --- horizontal reductions ---------------------------------------------------------------
+
+def horizontal_sum(a, elem: ElemType) -> np.ndarray:
+    """Sum all lanes of each word into a 64-bit scalar (``psum*`` family)."""
+    la = to_lanes(a, elem, signed=False).astype(np.uint64)
+    return la.sum(axis=-1, dtype=np.uint64)
+
+
+# --- scalar <-> lane helpers used by the builders -------------------------------------------
+
+def word_from_bytes(data: bytes) -> int:
+    """Build a packed word from up to 8 little-endian bytes."""
+    if len(data) > 8:
+        raise ValueError("at most 8 bytes fit a packed word")
+    return int.from_bytes(data.ljust(8, b"\0"), "little")
+
+
+def word_to_bytes(word: int) -> bytes:
+    """Little-endian byte image of a packed word."""
+    return int(word).to_bytes(8, "little")
+
+
+def lane_count(elem: ElemType) -> int:
+    """Lanes per 64-bit word for an element type."""
+    return elem.lanes

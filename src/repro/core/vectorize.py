@@ -1,0 +1,138 @@
+"""2D vectorization analysis: the quantitative argument of Section 2.
+
+Figure 3 of the paper contrasts how three ISA paradigms cover the same
+nested loop (the 16x16 SAD of ``dist1``):
+
+* a **conventional vector** ISA vectorizes the inner loop only, loading one
+  8-bit pixel per 64-bit vector element -- 8x waste;
+* an **MMX-like** ISA packs 8 pixels per 64-bit register but is confined to
+  one row (consecutive addresses);
+* **MOM** vectorizes both loops at once: up to 16 rows x 8 pixels = 128
+  elements per instruction, with an arbitrary stride between rows.
+
+This module expresses that comparison as an analyzable model: a
+:class:`LoopNest` describes the two parallel levels, and each paradigm's
+coverage, register utilization and instruction count fall out.  The
+``vectorization_comparison`` example and several tests are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mom_isa import MATRIX_ROWS, ROW_BITS
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """Two nested data-parallel loops over packed sub-word data.
+
+    Attributes:
+        inner_trip: iterations of the inner (contiguous) loop.
+        outer_trip: iterations of the outer (strided) loop.
+        elem_bits: data size of one element (8 for pixels).
+        stride_bytes: byte distance between consecutive outer iterations;
+            anything other than the inner extent makes the rows
+            non-contiguous, which is what defeats "just use a wider
+            register" (the paper's Altivec argument).
+    """
+
+    inner_trip: int
+    outer_trip: int
+    elem_bits: int = 8
+    stride_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.inner_trip < 1 or self.outer_trip < 1:
+            raise ValueError("loop trip counts must be positive")
+        if self.elem_bits not in (8, 16, 32, 64):
+            raise ValueError("element size must be 8/16/32/64 bits")
+
+    @property
+    def total_elements(self) -> int:
+        return self.inner_trip * self.outer_trip
+
+    @property
+    def rows_contiguous(self) -> bool:
+        """True when outer iterations touch consecutive memory."""
+        inner_bytes = self.inner_trip * self.elem_bits // 8
+        return self.stride_bytes in (0, inner_bytes)
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """How one ISA paradigm covers a loop nest with one instruction."""
+
+    paradigm: str
+    elements_per_instruction: int
+    useful_register_bits: int
+    register_bits: int
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of register storage holding useful data (Figure 3a's
+        waste: a conventional vector register holds 8 bits per 64)."""
+        return self.useful_register_bits / self.register_bits
+
+    def instructions_for(self, nest: LoopNest) -> int:
+        """Instructions needed to cover the whole nest at this width."""
+        return -(-nest.total_elements // self.elements_per_instruction)
+
+
+def conventional_vector(nest: LoopNest, vector_length: int = 16) -> Coverage:
+    """Classic vector ISA: inner loop only, one element per 64-bit slot."""
+    elements = min(nest.inner_trip, vector_length)
+    return Coverage(
+        paradigm="vector",
+        elements_per_instruction=elements,
+        useful_register_bits=elements * nest.elem_bits,
+        register_bits=vector_length * 64,
+    )
+
+
+def mmx_like(nest: LoopNest, register_bits: int = 64) -> Coverage:
+    """Sub-word SIMD: packs the inner loop into one register, one row only.
+
+    Widening the register (a la Altivec) helps only while the data is
+    contiguous: coverage is capped at one row when rows are strided.
+    """
+    lanes = register_bits // nest.elem_bits
+    if nest.rows_contiguous:
+        elements = min(nest.total_elements, lanes)
+    else:
+        elements = min(nest.inner_trip, lanes)
+    return Coverage(
+        paradigm="mmx",
+        elements_per_instruction=elements,
+        useful_register_bits=elements * nest.elem_bits,
+        register_bits=register_bits,
+    )
+
+
+def mom_matrix(nest: LoopNest) -> Coverage:
+    """MOM: inner loop packs a row, outer loop fills up to 16 rows."""
+    lanes = ROW_BITS // nest.elem_bits
+    inner = min(nest.inner_trip, lanes)
+    rows = min(nest.outer_trip, MATRIX_ROWS)
+    return Coverage(
+        paradigm="mom",
+        elements_per_instruction=inner * rows,
+        useful_register_bits=inner * rows * nest.elem_bits,
+        register_bits=MATRIX_ROWS * ROW_BITS,
+    )
+
+
+def compare(nest: LoopNest) -> dict[str, Coverage]:
+    """All three paradigms over one loop nest (the Figure 3 table)."""
+    return {
+        "vector": conventional_vector(nest),
+        "mmx": mmx_like(nest),
+        "mom": mom_matrix(nest),
+    }
+
+
+def dist1_nest(length: int = 352) -> LoopNest:
+    """The paper's running example: a 16x16 SAD inside a ``length``-wide
+    frame (rows are 16 bytes apart only if length == 16)."""
+    return LoopNest(inner_trip=16, outer_trip=16, elem_bits=8,
+                    stride_bytes=length)

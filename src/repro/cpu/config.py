@@ -1,0 +1,182 @@
+"""Processor configurations (Table 1) and register-file sizing (Table 2).
+
+The modeled machine closely follows a MIPS R10000 with an added multimedia
+unit and register file.  Four issue widths are simulated; Table 1 of the
+paper gives the exact resources, reproduced in :data:`TABLE1`.
+
+Conventions taken from the paper:
+
+* *simple* functional units perform logical/shift/add operations only;
+  *complex* units additionally perform multiplication and division (so a
+  complex unit subsumes a simple one);
+* for the 8-way machine the MOM configuration replaces 4 single-lane media
+  units by **2 units of width 2** (two parallel lanes each, executing two
+  vector element operations per cycle), and likewise 4 scalar memory ports
+  become **2 ports of width 2** -- each MOM port moves two vector elements
+  per cycle but only one element of scalar data;
+* the MOM vector-length register is renamed through the integer pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..isa.model import RegPool, RegisterFileSpec
+
+
+@dataclass(frozen=True)
+class FuConfig:
+    """Functional-unit counts for one operation family."""
+
+    simple: int
+    complex_: int
+
+    @property
+    def total(self) -> int:
+        return self.simple + self.complex_
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One column of Table 1, plus the ISA-dependent media register files.
+
+    Attributes:
+        width: fetch/issue/graduate width (the machine's "way").
+        med_lanes: vector lanes per media functional unit (MOM 8-way: 2).
+        mem_ports: number of cache ports.
+        mem_port_width: vector elements one port moves per cycle (MOM
+            8-way: 2); scalar data always moves one element per cycle.
+        front_latency: fetch-to-dispatch pipeline depth in cycles.
+    """
+
+    name: str
+    width: int
+    rob_size: int
+    lsq_size: int
+    bimodal_entries: int
+    btb_entries: int
+    int_units: FuConfig
+    fp_units: FuConfig
+    med_units: FuConfig
+    med_lanes: int
+    mem_ports: int
+    mem_port_width: int
+    int_phys: int
+    fp_phys: int
+    med_logical: int
+    med_phys: int
+    acc_logical: int
+    acc_phys: int
+    #: Rows per media register: 16 for MOM's banked matrix file, 1 for the
+    #: 64-bit MMX/MDMX registers.  Rename headroom for the media pool is
+    #: accounted in *row* units -- the matrix file is interleaved across
+    #: banks (Section 3.2, citing DeVries & Lee and Asanovic), so a write
+    #: of VL rows occupies VL row slots rather than a whole register.
+    med_reg_rows: int = 1
+    front_latency: int = 2
+
+    def phys_limit(self, pool: RegPool) -> int:
+        """In-flight rename headroom (row units for the media pool)."""
+        if pool == RegPool.INT:
+            return self.int_phys - 32
+        if pool == RegPool.FP:
+            return self.fp_phys - 32
+        if pool == RegPool.MED:
+            return max(0, self.med_phys - self.med_logical) * self.med_reg_rows
+        if pool == RegPool.ACC:
+            return max(0, self.acc_phys - self.acc_logical)
+        raise ValueError(f"unknown pool {pool}")
+
+
+#: Media register file organizations per ISA, from Table 2 (4-way machine).
+#: ``(med_logical, med_phys, acc_logical, acc_phys)``.  The paper sized these
+#: by "preliminary simulations ... to maintain processor performance"; it
+#: reports them only for the 4-way machine, so we use them at every width.
+MEDIA_REGFILES = {
+    "alpha": (0, 0, 0, 0),
+    "mmx": (32, 64, 0, 0),
+    "mdmx": (32, 52, 4, 16),
+    "mom": (16, 20, 2, 4),
+}
+
+#: Issue widths evaluated in the paper.
+WAYS = (1, 2, 4, 8)
+
+_BASE = {
+    1: dict(rob_size=8, lsq_size=4, bimodal_entries=512, btb_entries=64,
+            int_units=FuConfig(0, 1), fp_units=FuConfig(0, 1),
+            med_units=FuConfig(0, 1), med_lanes=1,
+            mem_ports=1, mem_port_width=1, int_phys=40, fp_phys=40),
+    2: dict(rob_size=16, lsq_size=8, bimodal_entries=2048, btb_entries=256,
+            int_units=FuConfig(1, 1), fp_units=FuConfig(1, 1),
+            med_units=FuConfig(1, 1), med_lanes=1,
+            mem_ports=1, mem_port_width=1, int_phys=48, fp_phys=48),
+    4: dict(rob_size=32, lsq_size=16, bimodal_entries=4096, btb_entries=512,
+            int_units=FuConfig(2, 1), fp_units=FuConfig(2, 1),
+            med_units=FuConfig(0, 2), med_lanes=1,
+            mem_ports=2, mem_port_width=1, int_phys=64, fp_phys=64),
+    8: dict(rob_size=64, lsq_size=32, bimodal_entries=16384, btb_entries=1024,
+            int_units=FuConfig(2, 2), fp_units=FuConfig(2, 2),
+            med_units=FuConfig(0, 4), med_lanes=1,
+            mem_ports=4, mem_port_width=1, int_phys=96, fp_phys=96),
+}
+
+
+def machine_config(way: int, isa: str) -> MachineConfig:
+    """Build the Table 1 configuration for an issue width and ISA.
+
+    The 8-way MOM machine gets 2 double-lane media units and 2 double-width
+    memory ports in place of 4 single ones, per the paper's note.
+    """
+    if way not in _BASE:
+        raise ValueError(f"way must be one of {sorted(_BASE)}, got {way}")
+    if isa not in MEDIA_REGFILES:
+        raise ValueError(f"unknown ISA {isa!r}")
+    med_log, med_phys, acc_log, acc_phys = MEDIA_REGFILES[isa]
+    cfg = MachineConfig(
+        name=f"{way}-way-{isa}",
+        width=way,
+        med_logical=med_log,
+        med_phys=med_phys,
+        acc_logical=acc_log,
+        acc_phys=acc_phys,
+        med_reg_rows=16 if isa == "mom" else 1,
+        **_BASE[way],
+    )
+    if way == 8 and isa == "mom":
+        cfg = replace(
+            cfg,
+            med_units=FuConfig(0, 2), med_lanes=2,
+            mem_ports=2, mem_port_width=2,
+        )
+    return cfg
+
+
+def register_file_specs(isa: str, way: int = 4) -> list[RegisterFileSpec]:
+    """Physical register files of the media extension (Table 2 content)."""
+    med_log, med_phys, acc_log, acc_phys = MEDIA_REGFILES[isa]
+    specs: list[RegisterFileSpec] = []
+    if med_phys:
+        if isa == "mom":
+            # 16 rows of 64 bits, interleaved over 8 banks with 2R/1W each.
+            specs.append(RegisterFileSpec(
+                RegPool.MED, med_log, med_phys, width_bits=16 * 64,
+                read_ports=2, write_ports=1, banks=8,
+            ))
+        else:
+            specs.append(RegisterFileSpec(
+                RegPool.MED, med_log, med_phys, width_bits=64,
+                read_ports=6, write_ports=3,
+            ))
+    if acc_phys:
+        if isa == "mom":
+            specs.append(RegisterFileSpec(
+                RegPool.ACC, acc_log, acc_phys, width_bits=192,
+                read_ports=2, write_ports=1,
+            ))
+        else:
+            specs.append(RegisterFileSpec(
+                RegPool.ACC, acc_log, acc_phys, width_bits=192,
+                read_ports=4, write_ports=2,
+            ))
+    return specs

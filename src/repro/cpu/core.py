@@ -1,0 +1,360 @@
+"""Trace-driven out-of-order superscalar core.
+
+Models the paper's R10000-like machine (Section 3.2): per-cycle fetch
+bounded by the issue width and by taken branches, a bimodal predictor and
+BTB, register renaming over four pools with finite physical registers, a
+reorder buffer, a load/store queue, fully-pipelined functional units (with
+multi-lane media units for MOM) and out-of-order issue with oldest-first
+priority.  Instruction *semantics* were already executed by the emulation
+library; the core consumes :class:`~repro.emulib.trace.DynInstr` records and
+charges time, exactly like the ATOM + Jinks arrangement of the paper.
+
+Simplifications (documented in DESIGN.md): mispredicted branches stall fetch
+until the branch resolves (wrong-path fetch is not simulated -- standard for
+trace-driven models), and memory disambiguation is optimistic (kernels
+carry their memory dependences through registers).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from ..emulib.trace import DynInstr, Trace, reg_pool
+from ..isa.model import InstrClass, RegPool
+from .bpred import BimodalPredictor, BranchTargetBuffer
+from .config import MachineConfig
+from .funit import FuPool, fu_family, needs_complex_unit
+
+#: Sentinel blocking fetch until a mispredicted branch resolves.
+_FAR_FUTURE = 1 << 60
+
+
+class _Entry:
+    """One in-flight instruction in the reorder buffer."""
+
+    __slots__ = ("instr", "deps", "completion", "chain_ready", "issued",
+                 "fetch_cycle", "mispredicted")
+
+    def __init__(self, instr: DynInstr, fetch_cycle: int) -> None:
+        self.instr = instr
+        self.deps: list[_Entry] = []
+        self.completion: int | None = None
+        #: When a *chaining* consumer (another vector operation) may start:
+        #: the producer's first element result is available while the rest
+        #: still streams -- classic vector chaining.
+        self.chain_ready: int | None = None
+        self.issued = False
+        self.fetch_cycle = fetch_cycle
+        self.mispredicted = False
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    cycles: int
+    instructions: int
+    operations: int
+    branch_lookups: int = 0
+    branch_mispredicts: int = 0
+    btb_misses: int = 0
+    fetch_stall_cycles: int = 0
+    rename_stall_events: int = 0
+    mem_stats: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def opc(self) -> float:
+        """Operations (lane-level work items) per cycle."""
+        return self.operations / self.cycles if self.cycles else 0.0
+
+
+class Core:
+    """The cycle-level engine.
+
+    Args:
+        config: a Table 1 machine configuration.
+        memsys: any object with ``try_issue(instr, cycle) -> int | None``
+            (perfect model or a full cache hierarchy).
+    """
+
+    #: Extra cycles between a mispredicted branch resolving and useful
+    #: instructions re-entering the pipeline (redirect + refill).
+    MISPREDICT_REDIRECT = 1
+
+    #: Pools whose physical registers release at *writeback* rather than
+    #: commit.  The media and accumulator files are the banked structures
+    #: of Section 3.2 (the paper cites DeVries & Lee and Asanovic's banked
+    #: vector register files); with only 20 physical matrix registers for
+    #: 16 logical ones, Table 2's sizing is only sufficient under this
+    #: eager-reclamation discipline.
+    LATE_RELEASE_POOLS = frozenset({RegPool.MED, RegPool.ACC})
+
+    #: Zeroing idioms rename to a hard-wired zero value and allocate no
+    #: physical register -- standard renamer practice; essential for the
+    #: accumulator pool, whose clear-accumulate-read pattern would
+    #: otherwise burn two of its four physical registers per chain.
+    ZERO_IDIOMS = frozenset({"clracc", "momzero"})
+
+    def __init__(self, config: MachineConfig, memsys, *,
+                 acc_chaining: bool = True, late_release: bool = True,
+                 zero_idiom_elision: bool = True) -> None:
+        """Args beyond config/memsys are ablation knobs (benchmarks):
+
+        acc_chaining: pipeline partial accumulations inside matrix
+            accumulate instructions (Section 2.1); off = MDMX-style
+            recurrence for MOM too.
+        late_release: banked media/accumulator files release physical
+            registers at writeback instead of commit.
+        zero_idiom_elision: ``clracc``/``momzero`` allocate no register.
+        """
+        self.config = config
+        self.memsys = memsys
+        self.acc_chaining = acc_chaining
+        self.late_release_pools = (self.LATE_RELEASE_POOLS if late_release
+                                   else frozenset())
+        self.zero_idioms = (self.ZERO_IDIOMS if zero_idiom_elision
+                            else frozenset())
+        self.bpred = BimodalPredictor(config.bimodal_entries)
+        self.btb = BranchTargetBuffer(config.btb_entries)
+        self.pools = {
+            "int": FuPool(config.int_units),
+            "fp": FuPool(config.fp_units),
+            "med": FuPool(config.med_units, lanes=config.med_lanes),
+        }
+
+    # --- public API --------------------------------------------------------------
+
+    def run(self, trace: Trace) -> SimResult:
+        """Simulate a full trace to completion and return statistics."""
+        cfg = self.config
+        width = cfg.width
+        rob: list[_Entry] = []          # in program order; head at index 0
+        fetch_queue: list[_Entry] = []
+        last_writer: dict[int, _Entry] = {}
+        inflight_dsts = {pool: 0 for pool in RegPool}
+        phys_limit = {pool: cfg.phys_limit(pool) for pool in RegPool}
+        lsq_used = 0
+
+        releases: list[tuple[int, RegPool, int]] = []  # (completion, pool, rows)
+
+        instrs = trace.instructions
+        n = len(instrs)
+        fetch_idx = 0
+        cycle = 0
+        committed = 0
+        next_fetch_cycle = 0
+        fetch_stall_cycles = 0
+        rename_stalls = 0
+        fetch_queue_cap = 2 * width
+
+        while committed < n:
+            cycle += 1
+
+            # --- release late-freed physical registers --------------------------
+            while releases and releases[0][0] <= cycle:
+                _done, pool, charge = heapq.heappop(releases)
+                inflight_dsts[pool] -= charge
+
+            # --- commit: retire completed instructions in order ----------------
+            commits = 0
+            while rob and commits < width:
+                head = rob[0]
+                if head.completion is None or head.completion > cycle:
+                    break
+                rob.pop(0)
+                head_zero = head.instr.op.name in self.zero_idioms
+                for dst in head.instr.dsts:
+                    pool = reg_pool(dst)
+                    if pool not in self.late_release_pools and not head_zero:
+                        inflight_dsts[pool] -= self._charge(head.instr, dst)
+                    if last_writer.get(dst) is head:
+                        del last_writer[dst]
+                if head.instr.iclass.is_memory:
+                    lsq_used -= 1
+                committed += 1
+                commits += 1
+
+            # --- issue: oldest-first, up to `width` per cycle --------------------
+            issued = 0
+            for entry in rob:
+                if issued >= width:
+                    break
+                if entry.issued:
+                    continue
+                if not self._deps_ready(entry, cycle, self._chains(entry)):
+                    continue
+                completion = self._execute(entry, cycle)
+                if completion is None:
+                    continue        # structural hazard; younger ops may go
+                entry.issued = True
+                entry.completion = completion
+                entry.chain_ready = self._chain_ready(entry, cycle, completion)
+                issued += 1
+                if entry.instr.op.name not in self.zero_idioms:
+                    for dst in entry.instr.dsts:
+                        pool = reg_pool(dst)
+                        if pool in self.late_release_pools:
+                            charge = self._charge(entry.instr, dst)
+                            heapq.heappush(releases, (completion, pool, charge))
+                if entry.mispredicted:
+                    # Redirect fetch once the branch resolves.
+                    next_fetch_cycle = completion + self.MISPREDICT_REDIRECT
+
+            # --- dispatch: fetch queue -> ROB (rename + allocate) ------------------
+            dispatched = 0
+            while (fetch_queue and dispatched < width and len(rob) < cfg.rob_size):
+                entry = fetch_queue[0]
+                if entry.fetch_cycle + cfg.front_latency > cycle:
+                    break
+                instr = entry.instr
+                if instr.iclass.is_memory and lsq_used >= cfg.lsq_size:
+                    break
+                if not self._rename_ok(instr, inflight_dsts, phys_limit):
+                    rename_stalls += 1
+                    break
+                fetch_queue.pop(0)
+                zero_idiom = instr.op.name in self.zero_idioms
+                for src in instr.srcs:
+                    producer = last_writer.get(src)
+                    if producer is not None:
+                        entry.deps.append(producer)
+                for dst in instr.dsts:
+                    if not zero_idiom:
+                        inflight_dsts[reg_pool(dst)] += self._charge(instr, dst)
+                    last_writer[dst] = entry
+                if instr.iclass.is_memory:
+                    lsq_used += 1
+                rob.append(entry)
+                dispatched += 1
+
+            # --- fetch: up to `width`, stopping at taken branches -------------------
+            if fetch_idx < n and cycle >= next_fetch_cycle:
+                fetched = 0
+                while (fetch_idx < n and fetched < width
+                       and len(fetch_queue) < fetch_queue_cap):
+                    instr = instrs[fetch_idx]
+                    entry = _Entry(instr, cycle)
+                    fetch_queue.append(entry)
+                    fetch_idx += 1
+                    fetched += 1
+                    if instr.iclass == InstrClass.BRANCH:
+                        prediction = self.bpred.predict_and_update(
+                            instr.site, bool(instr.taken)
+                        )
+                        if prediction != instr.taken:
+                            # Fetch blocks until the branch resolves at issue,
+                            # which rewrites next_fetch_cycle.
+                            entry.mispredicted = True
+                            next_fetch_cycle = _FAR_FUTURE
+                            break
+                        if instr.taken:
+                            hit = self.btb.lookup_insert(instr.site)
+                            next_fetch_cycle = cycle + (1 if hit else 2)
+                            break
+                    elif instr.iclass == InstrClass.JUMP:
+                        hit = self.btb.lookup_insert(instr.site)
+                        next_fetch_cycle = cycle + (1 if hit else 2)
+                        break
+            elif fetch_idx < n:
+                fetch_stall_cycles += 1
+
+        return SimResult(
+            cycles=cycle,
+            instructions=n,
+            operations=trace.operation_count(),
+            branch_lookups=self.bpred.lookups,
+            branch_mispredicts=self.bpred.mispredicts,
+            btb_misses=self.btb.misses,
+            fetch_stall_cycles=fetch_stall_cycles,
+            rename_stall_events=rename_stalls,
+            mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats") else {},
+        )
+
+    # --- helpers ----------------------------------------------------------------------
+
+    @staticmethod
+    def _chains(entry: _Entry) -> bool:
+        """Vector operations chain on their producers' element streams."""
+        instr = entry.instr
+        return instr.vl > 1 and (instr.iclass.is_media
+                                 or instr.iclass.is_memory)
+
+    @staticmethod
+    def _deps_ready(entry: _Entry, cycle: int, chaining: bool) -> bool:
+        for dep in entry.deps:
+            if dep.completion is None:
+                return False
+            ready = dep.chain_ready if (chaining and dep.chain_ready
+                                        is not None) else dep.completion
+            if ready > cycle:
+                return False
+        return True
+
+    @staticmethod
+    def _chain_ready(entry: _Entry, cycle: int, completion: int) -> int:
+        """First-element availability for chaining consumers.
+
+        Vector computations deliver their first element after one latency;
+        vector loads stream roughly one element per cycle ahead of their
+        final completion.  Scalar results do not stream: chain time equals
+        completion.
+        """
+        instr = entry.instr
+        if instr.vl <= 1:
+            return completion
+        if instr.iclass.is_memory:
+            return max(cycle + 1, completion - (instr.vl - 1))
+        if instr.op.writes_acc:
+            # Accumulator totals only exist once every row has drained.
+            return completion
+        return min(completion, cycle + instr.op.latency)
+
+    @staticmethod
+    def _charge(instr: DynInstr, dst: int) -> int:
+        """Row slots a destination occupies (VL rows for matrix writes)."""
+        if reg_pool(dst) == RegPool.MED:
+            return max(1, instr.vl)
+        return 1
+
+    def _rename_ok(self, instr: DynInstr, inflight, limits) -> bool:
+        """Check physical-register headroom for every destination pool."""
+        if instr.op.name in self.zero_idioms:
+            return True
+        for dst in instr.dsts:
+            pool = reg_pool(dst)
+            if inflight[pool] + self._charge(instr, dst) - 1 >= limits[pool]:
+                return False
+        return True
+
+    def _execute(self, entry: _Entry, cycle: int) -> int | None:
+        """Acquire execution resources; return the completion cycle."""
+        instr = entry.instr
+        iclass = instr.iclass
+        if iclass.is_memory:
+            return self.memsys.try_issue(instr, cycle)
+        if iclass == InstrClass.NOP:
+            return cycle + 1
+        if iclass in (InstrClass.BRANCH, InstrClass.JUMP):
+            # Branches resolve on a simple integer pipe.
+            return self.pools["int"].try_issue(False, cycle, 1, instr.op.name, 1)
+        family = fu_family(iclass)
+        pool = self.pools[family]
+        rows = instr.vl if family == "med" else 1
+        op = instr.op
+        latency = op.latency
+        if (self.acc_chaining and family == "med" and op.reads_acc
+                and op.writes_acc and rows > 1):
+            # Pipelined accumulation (Section 2.1): a matrix accumulate
+            # keeps `latency` partial sums in flight and folds as it
+            # streams, so a dependent accumulate can chain one cycle after
+            # the rows drain -- unlike MDMX, whose scalar accumulator
+            # recurrence pays the full latency per instruction.
+            latency = 1
+        return pool.try_issue(
+            needs_complex_unit(iclass), cycle, rows, op.name, latency,
+        )

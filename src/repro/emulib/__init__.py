@@ -1,0 +1,13 @@
+"""Emulation libraries: functional execution plus dynamic-trace capture."""
+
+from .memory import Memory
+from .trace import DynInstr, Trace, reg, reg_index, reg_pool
+from .alpha_builder import AlphaBuilder
+from .mmx_builder import MmxBuilder
+from .mdmx_builder import MdmxBuilder
+from .mom_builder import MomBuilder
+
+__all__ = [
+    "Memory", "DynInstr", "Trace", "reg", "reg_index", "reg_pool",
+    "AlphaBuilder", "MmxBuilder", "MdmxBuilder", "MomBuilder",
+]

@@ -1,0 +1,387 @@
+"""Builder infrastructure: functional execution plus trace capture.
+
+The paper hand-rewrites the hot functions of each benchmark as "stylized
+subroutine calls to our emulation libraries", then feeds the resulting
+instruction stream (captured with ATOM) into the Jinks timing simulator.
+Builders are our equivalent: a kernel is a Python function that manipulates
+*register handles* through an assembly-like API.  Every call
+
+* computes the architecturally-correct result (so outputs can be validated
+  against numpy golden references), and
+* appends one :class:`~repro.emulib.trace.DynInstr` to the trace, carrying
+  the register dependences, memory addresses and branch outcome the
+  out-of-order timing model needs.
+
+:class:`BaseBuilder` implements the scalar Alpha baseline -- the ISA every
+media extension sits on -- including register allocation, 64-bit arithmetic,
+memory access and branches whose outcome is derived from the actual register
+value (exactly what an instrumented binary would produce).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa.alpha import ALPHA
+from ..isa.model import IsaTable, Opcode, RegPool
+from .memory import Memory
+from .trace import DynInstr, Trace, reg
+
+_U64 = (1 << 64) - 1
+
+
+def wrap64(value: int) -> int:
+    """Truncate to 64 bits and reinterpret as signed two's complement."""
+    value &= _U64
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class RegHandle:
+    """A named architectural register with its current functional value.
+
+    Kernels allocate a handle per live variable, mirroring how hand-written
+    assembly assigns logical registers; reusing a handle across loop
+    iterations produces the WAW/WAR pressure that register renaming is there
+    to remove.
+    """
+
+    __slots__ = ("pool", "index", "encoded", "value", "builder")
+
+    def __init__(self, pool: RegPool, index: int, value, builder) -> None:
+        self.pool = pool
+        self.index = index
+        self.encoded = reg(pool, index)
+        self.value = value
+        self.builder = builder
+
+    def __repr__(self) -> str:
+        return f"{self.pool.name.lower()}{self.index}"
+
+
+class RegisterAllocator:
+    """Hands out logical register indices for one pool.
+
+    Raises when the pool is exhausted: a kernel that runs out of logical
+    registers must be restructured (spill or reuse), just like real code.
+    """
+
+    def __init__(self, pool: RegPool, limit: int) -> None:
+        self.pool = pool
+        self.limit = limit
+        self._next = 0
+        self._free: list[int] = []
+
+    def take(self) -> int:
+        if self._free:
+            return self._free.pop()
+        if self._next >= self.limit:
+            raise RuntimeError(
+                f"out of logical {self.pool.name} registers (limit {self.limit})"
+            )
+        index = self._next
+        self._next += 1
+        return index
+
+    def release(self, index: int) -> None:
+        self._free.append(index)
+
+    @property
+    def in_use(self) -> int:
+        return self._next - len(self._free)
+
+
+class BaseBuilder:
+    """Scalar Alpha-like builder; media builders extend it.
+
+    Args:
+        mem: backing functional memory.
+        int_registers: logical integer registers available to kernels.
+    """
+
+    #: ISA name recorded in the produced trace.
+    isa_name = "alpha"
+
+    def __init__(self, mem: Memory | None = None, int_registers: int = 30) -> None:
+        self.mem = mem if mem is not None else Memory()
+        self.trace = Trace(self.isa_name)
+        self.int_alloc = RegisterAllocator(RegPool.INT, int_registers)
+        self._next_site = 1
+
+    # --- register & site management ------------------------------------------
+
+    def ireg(self, value: int = 0) -> RegHandle:
+        """Allocate an integer register holding ``value``."""
+        return RegHandle(RegPool.INT, self.int_alloc.take(), wrap64(value), self)
+
+    def free(self, handle: RegHandle) -> None:
+        """Return a register to its pool (optional; for long kernels)."""
+        if handle.pool == RegPool.INT:
+            self.int_alloc.release(handle.index)
+        else:
+            raise ValueError(f"cannot free {handle!r} from the base builder")
+
+    def site(self) -> int:
+        """Allocate a static instruction identity (synthetic PC).
+
+        One per static branch in the kernel source; every dynamic instance
+        of that branch shares the site so the bimodal predictor and BTB can
+        learn its behaviour.
+        """
+        pc = self._next_site
+        self._next_site += 1
+        return pc
+
+    # --- emit helpers ----------------------------------------------------------
+
+    def _emit(self, op: Opcode, srcs=(), dsts=(), **kw) -> DynInstr:
+        instr = DynInstr(
+            op,
+            srcs=tuple(s.encoded for s in srcs),
+            dsts=tuple(d.encoded for d in dsts),
+            **kw,
+        )
+        return self.trace.append(instr)
+
+    def _alu(self, name: str, dst: RegHandle, srcs, value: int) -> RegHandle:
+        dst.value = wrap64(value)
+        self._emit(ALPHA[name], srcs=srcs, dsts=(dst,))
+        return dst
+
+    # --- constants & moves --------------------------------------------------------
+
+    def li(self, dst: RegHandle, imm: int) -> RegHandle:
+        """Load immediate (``lda rd, imm(zero)``)."""
+        return self._alu("lda", dst, (), imm)
+
+    def mov(self, dst: RegHandle, src: RegHandle) -> RegHandle:
+        """Register move (``bis rd, rs, rs``)."""
+        return self._alu("bis", dst, (src,), src.value)
+
+    # --- integer arithmetic ----------------------------------------------------------
+
+    def addq(self, dst, a, b) -> RegHandle:
+        return self._alu("addq", dst, (a, b), a.value + b.value)
+
+    def addi(self, dst, a, imm: int) -> RegHandle:
+        """Add immediate (``lda rd, imm(ra)``)."""
+        return self._alu("lda", dst, (a,), a.value + imm)
+
+    def subq(self, dst, a, b) -> RegHandle:
+        return self._alu("subq", dst, (a, b), a.value - b.value)
+
+    def subi(self, dst, a, imm: int) -> RegHandle:
+        return self._alu("lda", dst, (a,), a.value - imm)
+
+    def addl(self, dst, a, b) -> RegHandle:
+        return self._alu("addl", dst, (a, b), _sext32(a.value + b.value))
+
+    def subl(self, dst, a, b) -> RegHandle:
+        return self._alu("subl", dst, (a, b), _sext32(a.value - b.value))
+
+    def s4addq(self, dst, a, b) -> RegHandle:
+        return self._alu("s4addq", dst, (a, b), a.value * 4 + b.value)
+
+    def s8addq(self, dst, a, b) -> RegHandle:
+        return self._alu("s8addq", dst, (a, b), a.value * 8 + b.value)
+
+    def mulq(self, dst, a, b) -> RegHandle:
+        return self._alu("mulq", dst, (a, b), a.value * b.value)
+
+    def mull(self, dst, a, b) -> RegHandle:
+        return self._alu("mull", dst, (a, b), _sext32(a.value * b.value))
+
+    def muli(self, dst, a, imm: int) -> RegHandle:
+        """Multiply by immediate (assembler idiom on top of ``mulq``)."""
+        return self._alu("mulq", dst, (a,), a.value * imm)
+
+    # --- logicals ----------------------------------------------------------------------
+
+    def and_(self, dst, a, b) -> RegHandle:
+        return self._alu("and_", dst, (a, b), (a.value & _U64) & (b.value & _U64))
+
+    def andi(self, dst, a, imm: int) -> RegHandle:
+        return self._alu("and_", dst, (a,), (a.value & _U64) & (imm & _U64))
+
+    def bis(self, dst, a, b) -> RegHandle:
+        return self._alu("bis", dst, (a, b), (a.value & _U64) | (b.value & _U64))
+
+    def xor(self, dst, a, b) -> RegHandle:
+        return self._alu("xor", dst, (a, b), (a.value & _U64) ^ (b.value & _U64))
+
+    def sll(self, dst, a, count: int) -> RegHandle:
+        return self._alu("sll", dst, (a,), (a.value & _U64) << (count & 63))
+
+    def srl(self, dst, a, count: int) -> RegHandle:
+        return self._alu("srl", dst, (a,), (a.value & _U64) >> (count & 63))
+
+    def sra(self, dst, a, count: int) -> RegHandle:
+        return self._alu("sra", dst, (a,), wrap64(a.value) >> (count & 63))
+
+    # --- compares & conditional moves -----------------------------------------------------
+
+    def cmpeq(self, dst, a, b) -> RegHandle:
+        return self._alu("cmpeq", dst, (a, b), int(wrap64(a.value) == wrap64(b.value)))
+
+    def cmplt(self, dst, a, b) -> RegHandle:
+        return self._alu("cmplt", dst, (a, b), int(wrap64(a.value) < wrap64(b.value)))
+
+    def cmple(self, dst, a, b) -> RegHandle:
+        return self._alu("cmple", dst, (a, b), int(wrap64(a.value) <= wrap64(b.value)))
+
+    def cmplti(self, dst, a, imm: int) -> RegHandle:
+        return self._alu("cmplt", dst, (a,), int(wrap64(a.value) < imm))
+
+    def cmpult(self, dst, a, b) -> RegHandle:
+        return self._alu(
+            "cmpult", dst, (a, b), int((a.value & _U64) < (b.value & _U64))
+        )
+
+    def cmovne(self, dst, cond, src) -> RegHandle:
+        """``if cond != 0: dst <- src`` -- note dst is also a source."""
+        value = src.value if wrap64(cond.value) != 0 else dst.value
+        return self._alu("cmovne", dst, (cond, src, dst), value)
+
+    def cmoveq(self, dst, cond, src) -> RegHandle:
+        value = src.value if wrap64(cond.value) == 0 else dst.value
+        return self._alu("cmoveq", dst, (cond, src, dst), value)
+
+    def cmovlt(self, dst, cond, src) -> RegHandle:
+        value = src.value if wrap64(cond.value) < 0 else dst.value
+        return self._alu("cmovlt", dst, (cond, src, dst), value)
+
+    def cmovge(self, dst, cond, src) -> RegHandle:
+        value = src.value if wrap64(cond.value) >= 0 else dst.value
+        return self._alu("cmovge", dst, (cond, src, dst), value)
+
+    # --- byte manipulation -------------------------------------------------------------------
+
+    def sextb(self, dst, a) -> RegHandle:
+        v = a.value & 0xFF
+        return self._alu("sextb", dst, (a,), v - 0x100 if v & 0x80 else v)
+
+    def sextw(self, dst, a) -> RegHandle:
+        v = a.value & 0xFFFF
+        return self._alu("sextw", dst, (a,), v - 0x1_0000 if v & 0x8000 else v)
+
+    def zapnot(self, dst, a, byte_mask: int) -> RegHandle:
+        keep = 0
+        for i in range(8):
+            if byte_mask & (1 << i):
+                keep |= 0xFF << (8 * i)
+        return self._alu("zapnot", dst, (a,), (a.value & _U64) & keep)
+
+    def extbl(self, dst, a, byte_index: int) -> RegHandle:
+        return self._alu("extbl", dst, (a,), ((a.value & _U64) >> (8 * byte_index)) & 0xFF)
+
+    # --- memory ------------------------------------------------------------------------
+
+    def _load(self, name: str, dst, base, offset: int, nbytes: int,
+              signed: bool) -> RegHandle:
+        addr = (base.value + offset) & _U64
+        dst.value = wrap64(self.mem.read(addr, nbytes, signed=signed))
+        self._emit(ALPHA[name], srcs=(base,), dsts=(dst,), addr=addr, nbytes=nbytes)
+        return dst
+
+    def _store(self, name: str, src, base, offset: int, nbytes: int) -> None:
+        addr = (base.value + offset) & _U64
+        self.mem.write(addr, src.value, nbytes)
+        self._emit(ALPHA[name], srcs=(src, base), dsts=(), addr=addr, nbytes=nbytes)
+
+    def ldq(self, dst, base, offset: int = 0) -> RegHandle:
+        return self._load("ldq", dst, base, offset, 8, signed=True)
+
+    def ldl(self, dst, base, offset: int = 0) -> RegHandle:
+        return self._load("ldl", dst, base, offset, 4, signed=True)
+
+    def ldwu(self, dst, base, offset: int = 0) -> RegHandle:
+        return self._load("ldwu", dst, base, offset, 2, signed=False)
+
+    def ldbu(self, dst, base, offset: int = 0) -> RegHandle:
+        return self._load("ldbu", dst, base, offset, 1, signed=False)
+
+    def stq(self, src, base, offset: int = 0) -> None:
+        self._store("stq", src, base, offset, 8)
+
+    def stl(self, src, base, offset: int = 0) -> None:
+        self._store("stl", src, base, offset, 4)
+
+    def stw(self, src, base, offset: int = 0) -> None:
+        self._store("stw", src, base, offset, 2)
+
+    def stb(self, src, base, offset: int = 0) -> None:
+        self._store("stb", src, base, offset, 1)
+
+    # --- control flow -----------------------------------------------------------------------
+
+    def _branch(self, name: str, cond, taken: bool, site: int) -> bool:
+        self._emit(ALPHA[name], srcs=(cond,), taken=taken, site=site)
+        return taken
+
+    def bne(self, cond, site: int) -> bool:
+        """Branch if ``cond != 0``; returns the outcome."""
+        return self._branch("bne", cond, wrap64(cond.value) != 0, site)
+
+    def beq(self, cond, site: int) -> bool:
+        return self._branch("beq", cond, wrap64(cond.value) == 0, site)
+
+    def blt(self, cond, site: int) -> bool:
+        return self._branch("blt", cond, wrap64(cond.value) < 0, site)
+
+    def bgt(self, cond, site: int) -> bool:
+        return self._branch("bgt", cond, wrap64(cond.value) > 0, site)
+
+    def bge(self, cond, site: int) -> bool:
+        return self._branch("bge", cond, wrap64(cond.value) >= 0, site)
+
+    def br(self, site: int) -> None:
+        """Unconditional branch (always taken)."""
+        self._emit(ALPHA["br"], taken=True, site=site)
+
+    def jsr(self, site: int) -> None:
+        self._emit(ALPHA["jsr"], taken=True, site=site)
+
+    def ret(self, site: int) -> None:
+        self._emit(ALPHA["ret"], taken=True, site=site)
+
+    def nop(self) -> None:
+        self._emit(ALPHA["nop"])
+
+    # --- structured helpers ---------------------------------------------------------------
+
+    def counted_loop(self, count: int):
+        """Iterate a counted loop emitting realistic bookkeeping.
+
+        Yields the iteration index; after each body the builder emits the
+        decrement-and-branch pair a compiler would generate.  Usage::
+
+            for i in b.counted_loop(16):
+                ...body...
+        """
+        if count <= 0:
+            return
+        counter = self.ireg(count)
+        back_edge = self.site()
+        for i in range(count):
+            yield i
+            self.subi(counter, counter, 1)
+            self.bne(counter, back_edge)
+        self.free(counter)
+
+
+def _sext32(value: int) -> int:
+    value &= 0xFFFF_FFFF
+    if value >= 1 << 31:
+        value -= 1 << 32
+    return value
+
+
+def make_table_lookup(builder: BaseBuilder, table: np.ndarray) -> int:
+    """Place a lookup table in memory and return its base address.
+
+    Several scalar kernels (notably ``addblock``) use memory tables for
+    saturation -- the very pattern the media ISAs replace with saturating
+    arithmetic.
+    """
+    return builder.mem.alloc_array(np.ascontiguousarray(table))

@@ -1,0 +1,99 @@
+"""Trace disassembler: render dynamic instruction streams for humans.
+
+The emulation libraries produce :class:`~repro.emulib.trace.DynInstr`
+records; this module renders them in an assembly-like listing (one line per
+dynamic instruction, with operands, effective addresses, vector lengths and
+branch outcomes) and produces summary reports.  Used for debugging kernels,
+for documentation, and by the fetch-pressure study.
+"""
+
+from __future__ import annotations
+
+from ..isa.model import InstrClass, RegPool
+from .trace import DynInstr, Trace, reg_index, reg_pool
+
+_POOL_PREFIX = {
+    RegPool.INT: "r",
+    RegPool.FP: "f",
+    RegPool.MED: "m",
+    RegPool.ACC: "acc",
+}
+
+
+def format_operand(encoded: int) -> str:
+    """Render one encoded register operand (``r5``, ``m3``, ``acc0``)."""
+    return f"{_POOL_PREFIX[reg_pool(encoded)]}{reg_index(encoded)}"
+
+
+def format_instr(instr: DynInstr) -> str:
+    """One assembly-like line for a dynamic instruction."""
+    parts = [instr.op.name]
+    operands = [format_operand(d) for d in instr.dsts]
+    operands += [format_operand(s) for s in instr.srcs]
+    if operands:
+        parts.append(", ".join(operands))
+    notes = []
+    if instr.addr is not None:
+        if instr.vl > 1:
+            notes.append(f"@{instr.addr:#x}+{instr.stride}*{instr.vl}")
+        else:
+            notes.append(f"@{instr.addr:#x}/{instr.nbytes}")
+    elif instr.vl > 1:
+        notes.append(f"vl={instr.vl}")
+    if instr.taken is not None:
+        notes.append("taken" if instr.taken else "not-taken")
+        notes.append(f"site={instr.site}")
+    if notes:
+        parts.append("; " + " ".join(notes))
+    return "  ".join(parts)
+
+
+def disassemble(trace: Trace, start: int = 0, count: int | None = None) -> str:
+    """Render a slice of a trace as a numbered listing."""
+    end = len(trace) if count is None else min(len(trace), start + count)
+    lines = [f"; trace: isa={trace.isa}, {len(trace)} instructions"]
+    for i in range(start, end):
+        lines.append(f"{i:6d}: {format_instr(trace[i])}")
+    return "\n".join(lines)
+
+
+def summarize(trace: Trace) -> dict[str, float]:
+    """Summary statistics of a dynamic trace.
+
+    Returns a dictionary with instruction totals, the class mix, element
+    operations (lane-level work), memory traffic and branch statistics --
+    everything the fetch-pressure study reports.
+    """
+    n = len(trace)
+    if n == 0:
+        return {"instructions": 0}
+    hist = trace.class_histogram()
+    media = sum(v for k, v in hist.items() if k.is_media)
+    memory = sum(v for k, v in hist.items() if k.is_memory)
+    control = sum(v for k, v in hist.items() if k.is_control)
+    return {
+        "instructions": n,
+        "operations": trace.operation_count(),
+        "ops_per_instruction": trace.operation_count() / n,
+        "media_fraction": media / n,
+        "memory_fraction": memory / n,
+        "control_fraction": control / n,
+        "branches": trace.branch_count(),
+        "memory_references": trace.memory_references(),
+        "avg_vector_length": (
+            sum(i.vl for i in trace if i.iclass.is_media)
+            / max(1, sum(1 for i in trace if i.iclass.is_media))
+        ),
+    }
+
+
+def class_mix_report(trace: Trace) -> str:
+    """A printable instruction-class histogram."""
+    hist = trace.class_histogram()
+    total = len(trace)
+    lines = [f"instruction class mix ({total} instructions):"]
+    for iclass in sorted(hist, key=lambda c: -hist[c]):
+        share = hist[iclass] / total
+        lines.append(f"  {InstrClass(iclass).name:12s} {hist[iclass]:8d}"
+                     f"  {share:6.1%}")
+    return "\n".join(lines)

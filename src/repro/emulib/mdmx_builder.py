@@ -1,0 +1,192 @@
+"""MDMX-like emulation library: packed ops plus 192-bit accumulators.
+
+Extends the MMX builder with the 25 accumulator opcodes of
+:mod:`repro.isa.mdmx`.  The scalar-reduction opcodes MMX needed (``psadb``,
+``psum*``) are absent from the MDMX table, so calling them raises -- MDMX
+performs reductions through accumulators, which is the whole architectural
+argument of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from ..core.accumulator import PackedAccumulator
+from ..isa.mdmx import MDMX
+from ..isa.model import ElemType, RegPool
+from .base_builder import RegHandle, RegisterAllocator
+from .mmx_builder import MmxBuilder
+
+_E = ElemType
+
+
+class MdmxBuilder(MmxBuilder):
+    """Builder for the MDMX-like ISA (32 media registers, 4 accumulators)."""
+
+    isa_name = "mdmx"
+    media_table = MDMX
+    accumulator_registers = 4
+    ld_op = "mdmx_ldq"
+    ldu_op = "mdmx_ldq_u"
+    st_op = "mdmx_stq"
+
+    def __init__(self, mem=None, int_registers: int = 30) -> None:
+        super().__init__(mem, int_registers)
+        self.acc_alloc = RegisterAllocator(RegPool.ACC, self.accumulator_registers)
+
+    # --- registers --------------------------------------------------------------
+
+    def areg(self) -> RegHandle:
+        """Allocate a packed accumulator (cleared)."""
+        return RegHandle(RegPool.ACC, self.acc_alloc.take(), PackedAccumulator(), self)
+
+    def free(self, handle: RegHandle) -> None:
+        if handle.pool == RegPool.ACC:
+            self.acc_alloc.release(handle.index)
+        else:
+            super().free(handle)
+
+    # --- accumulate emit helper -----------------------------------------------------
+
+    def _acc_op(self, name: str, acc: RegHandle, srcs, mutate) -> RegHandle:
+        """Emit an accumulate op: acc is both source and destination."""
+        mutate(acc.value)
+        self._emit(self.media_table[name], srcs=tuple(srcs) + (acc,), dsts=(acc,))
+        return acc
+
+    # --- multiply-accumulate -----------------------------------------------------------
+
+    def pmaddab(self, acc, a, b):
+        return self._acc_op(
+            "pmaddab", acc, (a, b),
+            lambda v: v.madd(a.value, b.value, _E.B, signed=True),
+        )
+
+    def pmaddah(self, acc, a, b):
+        return self._acc_op(
+            "pmaddah", acc, (a, b),
+            lambda v: v.madd(a.value, b.value, _E.H, signed=True),
+        )
+
+    def pmaddauh(self, acc, a, b):
+        return self._acc_op(
+            "pmaddauh", acc, (a, b),
+            lambda v: v.madd(a.value, b.value, _E.H, signed=False),
+        )
+
+    def pmsubab(self, acc, a, b):
+        return self._acc_op(
+            "pmsubab", acc, (a, b),
+            lambda v: v.madd(a.value, b.value, _E.B, signed=True, subtract=True),
+        )
+
+    def pmsubah(self, acc, a, b):
+        return self._acc_op(
+            "pmsubah", acc, (a, b),
+            lambda v: v.madd(a.value, b.value, _E.H, signed=True, subtract=True),
+        )
+
+    # --- add / subtract accumulate ---------------------------------------------------------
+
+    def paccaddb(self, acc, a, b):
+        return self._acc_op(
+            "paccaddb", acc, (a, b), lambda v: v.acc_add(a.value, b.value, _E.B)
+        )
+
+    def paccaddh(self, acc, a, b):
+        return self._acc_op(
+            "paccaddh", acc, (a, b), lambda v: v.acc_add(a.value, b.value, _E.H)
+        )
+
+    def paccaddw(self, acc, a, b):
+        return self._acc_op(
+            "paccaddw", acc, (a, b), lambda v: v.acc_add(a.value, b.value, _E.W)
+        )
+
+    def paccsubb(self, acc, a, b):
+        return self._acc_op(
+            "paccsubb", acc, (a, b),
+            lambda v: v.acc_add(a.value, b.value, _E.B, subtract=True),
+        )
+
+    def paccsubh(self, acc, a, b):
+        return self._acc_op(
+            "paccsubh", acc, (a, b),
+            lambda v: v.acc_add(a.value, b.value, _E.H, subtract=True),
+        )
+
+    def paccsubw(self, acc, a, b):
+        return self._acc_op(
+            "paccsubw", acc, (a, b),
+            lambda v: v.acc_add(a.value, b.value, _E.W, subtract=True),
+        )
+
+    # --- difference accumulate ----------------------------------------------------------------
+
+    def paccsadb(self, acc, a, b):
+        return self._acc_op(
+            "paccsadb", acc, (a, b), lambda v: v.acc_sad(a.value, b.value, _E.B)
+        )
+
+    def paccsadh(self, acc, a, b):
+        return self._acc_op(
+            "paccsadh", acc, (a, b), lambda v: v.acc_sad(a.value, b.value, _E.H)
+        )
+
+    def paccsqdb(self, acc, a, b):
+        return self._acc_op(
+            "paccsqdb", acc, (a, b), lambda v: v.acc_sqd(a.value, b.value, _E.B)
+        )
+
+    def paccsqdh(self, acc, a, b):
+        return self._acc_op(
+            "paccsqdh", acc, (a, b), lambda v: v.acc_sqd(a.value, b.value, _E.H)
+        )
+
+    # --- accumulator read-out ----------------------------------------------------------------------
+
+    def _rac(self, name: str, dst, acc, value: int) -> RegHandle:
+        dst.value = value & (1 << 64) - 1
+        self._emit(self.media_table[name], srcs=(acc,), dsts=(dst,))
+        return dst
+
+    def racl(self, dst, acc, elem: ElemType = ElemType.B):
+        """Read the low slice of every accumulator lane (``racl.fmt``)."""
+        return self._rac("racl", dst, acc, acc.value.read_slice("low", elem))
+
+    def racm(self, dst, acc, elem: ElemType = ElemType.B):
+        """Read the middle slice of every accumulator lane (``racm.fmt``)."""
+        return self._rac("racm", dst, acc, acc.value.read_slice("mid", elem))
+
+    def rach(self, dst, acc, elem: ElemType = ElemType.B):
+        """Read the high slice of every accumulator lane (``rach.fmt``)."""
+        return self._rac("rach", dst, acc, acc.value.read_slice("high", elem))
+
+    def raccsb(self, dst, acc, shift: int = 0):
+        return self._rac("raccsb", dst, acc, acc.value.read_saturated(_E.B, True, shift))
+
+    def raccub(self, dst, acc, shift: int = 0):
+        return self._rac("raccub", dst, acc, acc.value.read_saturated(_E.B, False, shift))
+
+    def raccsh(self, dst, acc, shift: int = 0):
+        return self._rac("raccsh", dst, acc, acc.value.read_saturated(_E.H, True, shift))
+
+    def raccuh(self, dst, acc, shift: int = 0):
+        return self._rac("raccuh", dst, acc, acc.value.read_saturated(_E.H, False, shift))
+
+    # --- accumulator restore / clear ---------------------------------------------------------------------
+
+    def wacl(self, acc, lo, mid):
+        """Restore low + middle thirds from two media registers."""
+        def mutate(v: PackedAccumulator) -> None:
+            v.write_third("low", lo.value)
+            v.write_third("mid", mid.value)
+        return self._acc_op("wacl", acc, (lo, mid), mutate)
+
+    def wach(self, acc, hi):
+        """Restore the high third from a media register."""
+        return self._acc_op("wach", acc, (hi,), lambda v: v.write_third("high", hi.value))
+
+    def clracc(self, acc):
+        """Clear an accumulator; breaks the dependence on its old value."""
+        acc.value.clear()
+        self._emit(self.media_table["clracc"], srcs=(), dsts=(acc,))
+        return acc

@@ -1,0 +1,12 @@
+"""Compatibility re-export: the packed-arithmetic primitives live in
+:mod:`repro.core.packed` (the emulation libraries depend on the core, not
+the other way around)."""
+
+from ..core.packed import *  # noqa: F401,F403
+from ..core.packed import (  # noqa: F401
+    to_lanes, from_lanes, saturate, add_wrap, add_sat, sub_wrap, sub_sat,
+    mul_low, mul_high, mul_add_pairs, avg_round, absdiff, sad, abs_packed,
+    minmax, cmp_mask, select, shift, pack_sat, unpack_interleave,
+    shuffle_halves, horizontal_sum, word_from_bytes, word_to_bytes,
+    lane_count,
+)

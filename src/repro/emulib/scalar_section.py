@@ -1,0 +1,160 @@
+"""Calibrated synthesizer for non-vectorizable program sections.
+
+The full-application study (Section 4.2) simulates entire Mediabench
+programs: hand-vectorized hot functions plus everything else -- entropy
+coding, bitstream assembly, header parsing, control.  The paper gets that
+"everything else" from the ATOM-instrumented binary; we synthesize it.
+
+Each non-vectorizable phase of an application measures its *exact* dynamic
+operation counts while executing functionally in Python (e.g. one VLC
+symbol -> so many compares, table loads, shifts and bit appends), fills a
+:class:`SectionProfile`, and the synthesizer emits a scalar Alpha stream
+with that instruction mix, a realistic dependence depth, a configurable
+memory footprint (table lookups walk a buffer) and a mix of predictable
+loop branches and data-dependent (hard-to-predict) branches.
+
+Because the same profile is emitted identically for every ISA configuration
+of an application, Amdahl's law plays out exactly as in the paper: the
+scalar fraction bounds full-program speedups well below the kernel-level
+numbers of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base_builder import BaseBuilder
+
+
+@dataclass
+class SectionProfile:
+    """Dynamic operation counts of one non-vectorizable program phase.
+
+    Attributes:
+        name: phase label (for DESIGN/EXPERIMENTS bookkeeping).
+        loads: dependent memory reads (table lookups, buffer reads).
+        stores: memory writes (bitstream bytes, state updates).
+        alu: simple integer operations (add/shift/logical/compare).
+        muls: integer multiplies.
+        loop_branches: well-predicted back-edge style branches.
+        data_branches: data-dependent, poorly-predictable branches
+            (VLC code-length decisions and the like).
+        footprint: bytes of memory the phase touches (lookup tables +
+            output buffer); drives the cache behaviour of the phase.
+    """
+
+    name: str
+    loads: int = 0
+    stores: int = 0
+    alu: int = 0
+    muls: int = 0
+    loop_branches: int = 0
+    data_branches: int = 0
+    footprint: int = 4096
+
+    def total_instructions(self) -> int:
+        return (self.loads + self.stores + self.alu + self.muls
+                + self.loop_branches + self.data_branches)
+
+    def scaled(self, factor: float) -> "SectionProfile":
+        """A proportionally scaled copy (used by reduced-size workloads)."""
+        return SectionProfile(
+            name=self.name,
+            loads=int(self.loads * factor),
+            stores=int(self.stores * factor),
+            alu=int(self.alu * factor),
+            muls=int(self.muls * factor),
+            loop_branches=int(self.loop_branches * factor),
+            data_branches=int(self.data_branches * factor),
+            footprint=self.footprint,
+        )
+
+
+@dataclass
+class SectionTally:
+    """Convenience counter used while the functional code runs."""
+
+    profile: SectionProfile = field(
+        default_factory=lambda: SectionProfile(name="phase")
+    )
+
+    def count(self, loads: int = 0, stores: int = 0, alu: int = 0,
+              muls: int = 0, loop_branches: int = 0,
+              data_branches: int = 0) -> None:
+        p = self.profile
+        p.loads += loads
+        p.stores += stores
+        p.alu += alu
+        p.muls += muls
+        p.loop_branches += loop_branches
+        p.data_branches += data_branches
+
+
+def emit_scalar_section(b: BaseBuilder, profile: SectionProfile,
+                        seed: int = 1) -> None:
+    """Emit a scalar stream matching ``profile`` into builder ``b``.
+
+    The stream is a loop whose body interleaves the operation classes in
+    proportion, with a serial dependence chain of depth ~3 (typical of
+    pointer-chasing entropy code).  Loop branches are emitted on a single
+    well-predicted site; data branches on a site driven by a deterministic
+    pseudo-random outcome sequence, which trains the bimodal predictor to
+    its realistic mid-50s accuracy for such code.
+    """
+    total = profile.total_instructions()
+    if total == 0:
+        return
+    rng = np.random.default_rng(seed)
+    buf = b.mem.alloc(max(64, profile.footprint))
+    ptr = b.ireg(buf)
+    acc = b.ireg(seed & 0xFFFF)
+    tmp = b.ireg()
+    loop_site = b.site()
+    data_site = b.site()
+
+    remaining = {
+        "loads": profile.loads,
+        "stores": profile.stores,
+        "alu": profile.alu,
+        "muls": profile.muls,
+        "loop_branches": profile.loop_branches,
+        "data_branches": profile.data_branches,
+    }
+    stride = 24
+    offset = 0
+
+    def pick() -> str | None:
+        """Largest-remainder pick keeps the mix proportional throughout."""
+        live = {k: v for k, v in remaining.items() if v > 0}
+        if not live:
+            return None
+        return max(live, key=live.__getitem__)
+
+    while True:
+        kind = pick()
+        if kind is None:
+            break
+        remaining[kind] -= 1
+        if kind == "loads":
+            b.ldbu(tmp, ptr, offset)
+            b.addq(acc, acc, tmp)          # dependent use
+            remaining["alu"] -= 1 if remaining["alu"] > 0 else 0
+            offset = (offset + stride) % max(64, profile.footprint - 8)
+        elif kind == "stores":
+            b.stb(acc, ptr, offset)
+            offset = (offset + stride) % max(64, profile.footprint - 8)
+        elif kind == "alu":
+            b.addi(acc, acc, 3)
+        elif kind == "muls":
+            b.muli(acc, acc, 3)
+        elif kind == "loop_branches":
+            b.li(tmp, 0 if remaining["loop_branches"] == 0 else 1)
+            b.bne(tmp, loop_site)
+        else:  # data_branches
+            b.li(tmp, int(rng.integers(0, 2)))
+            b.bne(tmp, data_site)
+    b.free(ptr)
+    b.free(acc)
+    b.free(tmp)

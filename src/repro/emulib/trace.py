@@ -1,0 +1,160 @@
+"""Dynamic instruction traces.
+
+The builders in this package execute kernels functionally and record one
+:class:`DynInstr` per dynamic instruction -- the same information the paper
+obtains by filtering an ATOM-instrumented instruction stream into the Jinks
+simulator.  The out-of-order core in :mod:`repro.cpu.core` consumes these
+records; it never re-executes data computation.
+
+Register encoding
+-----------------
+Operands are encoded as small integers ``(pool << 8) | index`` so the timing
+model can use them as dictionary keys cheaply.  Use :func:`reg` and
+:func:`reg_pool` / :func:`reg_index` to build and decode them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.model import InstrClass, Opcode, RegPool
+
+
+def reg(pool: RegPool, index: int) -> int:
+    """Encode an architectural register operand."""
+    if index < 0 or index > 0xFF:
+        raise ValueError(f"register index {index} out of range")
+    return (int(pool) << 8) | index
+
+
+def reg_pool(encoded: int) -> RegPool:
+    """Pool of an encoded operand."""
+    return RegPool(encoded >> 8)
+
+
+def reg_index(encoded: int) -> int:
+    """Index of an encoded operand within its pool."""
+    return encoded & 0xFF
+
+
+class DynInstr:
+    """One dynamic instruction instance.
+
+    Attributes:
+        op: the static :class:`~repro.isa.model.Opcode`.
+        srcs: encoded source registers (dependences the core must honour).
+        dsts: encoded destination registers.
+        addr: first effective address for memory classes, else ``None``.
+        nbytes: bytes accessed *per element* for memory classes.
+        stride: byte distance between consecutive elements (MOM memory).
+        vl: number of vector elements (MOM: rows covered by VL; 1 for
+            scalar and MMX/MDMX instructions).
+        taken: branch outcome for control classes.
+        site: static instruction identity (synthetic PC) -- used by the
+            branch predictor and the BTB.
+    """
+
+    __slots__ = (
+        "op", "srcs", "dsts", "addr", "nbytes", "stride",
+        "vl", "taken", "site",
+    )
+
+    def __init__(
+        self,
+        op: Opcode,
+        srcs: tuple[int, ...] = (),
+        dsts: tuple[int, ...] = (),
+        addr: int | None = None,
+        nbytes: int = 0,
+        stride: int = 0,
+        vl: int = 1,
+        taken: bool | None = None,
+        site: int = 0,
+    ) -> None:
+        self.op = op
+        self.srcs = srcs
+        self.dsts = dsts
+        self.addr = addr
+        self.nbytes = nbytes
+        self.stride = stride
+        self.vl = vl
+        self.taken = taken
+        self.site = site
+
+    @property
+    def iclass(self) -> InstrClass:
+        return self.op.iclass
+
+    def element_addresses(self) -> list[int]:
+        """Effective addresses of every element access of this instruction."""
+        if self.addr is None:
+            return []
+        if self.vl == 1 or self.stride == 0:
+            return [self.addr]
+        return [self.addr + i * self.stride for i in range(self.vl)]
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.addr is not None:
+            extra = f" @{self.addr:#x}x{self.vl}"
+        if self.taken is not None:
+            extra = f" taken={self.taken}"
+        return f"<{self.op.isa}:{self.op.name}{extra}>"
+
+
+@dataclass
+class Trace:
+    """An ordered dynamic instruction stream plus summary statistics."""
+
+    isa: str
+    instructions: list[DynInstr] = field(default_factory=list)
+
+    def append(self, instr: DynInstr) -> DynInstr:
+        self.instructions.append(instr)
+        return instr
+
+    def extend(self, other: "Trace") -> None:
+        """Concatenate another trace (used to stitch program phases)."""
+        self.instructions.extend(other.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, idx):
+        return self.instructions[idx]
+
+    # --- statistics ------------------------------------------------------------
+
+    def class_histogram(self) -> dict[InstrClass, int]:
+        hist: dict[InstrClass, int] = {}
+        for ins in self.instructions:
+            hist[ins.iclass] = hist.get(ins.iclass, 0) + 1
+        return hist
+
+    def opcode_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for ins in self.instructions:
+            hist[ins.op.name] = hist.get(ins.op.name, 0) + 1
+        return hist
+
+    def operation_count(self) -> int:
+        """Total *operations* (lane-level work items), counting vector length.
+
+        One MOM instruction of VL=16 on byte lanes counts 16 x 8 = 128
+        operations -- the "order of magnitude more operations per
+        instruction" the paper credits for MOM's low fetch pressure.
+        """
+        total = 0
+        for ins in self.instructions:
+            total += ins.vl * max(1, ins.op.elem.lanes)
+        return total
+
+    def memory_references(self) -> int:
+        """Total element-level memory accesses in the trace."""
+        return sum(ins.vl for ins in self.instructions if ins.iclass.is_memory)
+
+    def branch_count(self) -> int:
+        return sum(1 for ins in self.instructions if ins.iclass == InstrClass.BRANCH)

@@ -1,0 +1,1 @@
+"""Experiment drivers regenerating every table and figure of the paper."""

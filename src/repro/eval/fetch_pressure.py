@@ -1,0 +1,92 @@
+"""Fetch-pressure study: the paper's embedded-systems argument.
+
+Section 4.1 / Section 5 claim MOM "greatly reduces the fetch pressure by
+packing an order of magnitude more operations per instruction than MMX or
+MDMX, making it an ideal candidate for embedded systems where high issue
+rates and out-of-order execution are not even an option".
+
+This driver quantifies that claim on every kernel:
+
+* **operations per instruction** -- lane-level work items carried by one
+  fetched instruction (MOM targets >10x MMX);
+* **fetch economy** -- instructions fetched per unit of scalar-equivalent
+  work;
+* **narrow-machine retention** -- the fraction of its own 8-way performance
+  each ISA keeps on the 1-way machine (MOM should retain the most).
+
+Run as a module::
+
+    python -m repro.eval.fetch_pressure
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from ..emulib.disasm import summarize
+from ..kernels import KERNEL_ORDER
+from .runner import built_kernel, simulate_kernel
+
+
+@dataclass
+class FetchPressurePoint:
+    """Per (kernel, isa) fetch-pressure metrics."""
+
+    kernel: str
+    isa: str
+    instructions: int
+    ops_per_instruction: float
+    retention_1way: float       # speedup(1-way) / speedup(8-way)
+
+
+def run(kernels=KERNEL_ORDER, scale: int = 1,
+        quiet: bool = False) -> dict[str, dict[str, FetchPressurePoint]]:
+    results: dict[str, dict[str, FetchPressurePoint]] = {}
+    for kernel in kernels:
+        row = {}
+        for isa in ("alpha", "mmx", "mdmx", "mom"):
+            built = built_kernel(kernel, isa, scale)
+            stats = summarize(built.trace)
+            narrow = simulate_kernel(kernel, isa, 1, scale=scale).cycles
+            wide = simulate_kernel(kernel, isa, 8, scale=scale).cycles
+            row[isa] = FetchPressurePoint(
+                kernel=kernel,
+                isa=isa,
+                instructions=stats["instructions"],
+                ops_per_instruction=stats["ops_per_instruction"],
+                retention_1way=wide / narrow,
+            )
+        results[kernel] = row
+        if not quiet:
+            cells = "  ".join(
+                f"{isa}:{p.ops_per_instruction:5.1f}op/i"
+                f"/{p.retention_1way:4.0%}"
+                for isa, p in row.items()
+            )
+            print(f"{kernel:16s} {cells}")
+    return results
+
+
+def mom_fetch_advantage(results) -> dict[str, float]:
+    """Instructions MMX fetches per instruction MOM fetches, per kernel."""
+    return {
+        kernel: row["mmx"].instructions / row["mom"].instructions
+        for kernel, row in results.items()
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=1)
+    args = parser.parse_args()
+    print("ops/instruction and 1-way retention of 8-way performance:\n")
+    results = run(scale=args.scale)
+    print("\nFetch economy: MMX instructions per MOM instruction "
+          "(paper: 'an order of magnitude'):")
+    for kernel, ratio in mom_fetch_advantage(results).items():
+        print(f"  {kernel:16s} {ratio:5.1f}x")
+
+
+if __name__ == "__main__":
+    main()

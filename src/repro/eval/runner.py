@@ -1,0 +1,90 @@
+"""Shared experiment plumbing: build, verify, simulate, cache.
+
+Every figure/table driver funnels through :func:`simulate_kernel`, which
+(1) synthesizes the workload, (2) builds the ISA version and checks it
+against the numpy golden reference, and (3) runs the cycle-level core with
+the requested memory model.  Build products are memoized per process so a
+sweep over machine widths reuses the same verified trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu import Core, SimResult, machine_config
+from ..kernels import KERNELS, BuiltKernel, build_and_check
+from ..memsys import PerfectMemory
+
+_BUILD_CACHE: dict[tuple[str, str, int], BuiltKernel] = {}
+
+
+def built_kernel(kernel: str, isa: str, scale: int = 1) -> BuiltKernel:
+    """Build (and verify) one kernel/ISA pair, memoized."""
+    key = (kernel, isa, scale)
+    if key not in _BUILD_CACHE:
+        spec = KERNELS[kernel]
+        workload = spec.make_workload(scale)
+        _BUILD_CACHE[key] = build_and_check(spec, isa, workload)
+    return _BUILD_CACHE[key]
+
+
+def perfect_memory_for(way: int, isa: str, latency: int = 1) -> PerfectMemory:
+    """The Section 4.1 idealized memory: Table 1 ports, fixed latency."""
+    cfg = machine_config(way, isa)
+    return PerfectMemory(latency, cfg.mem_ports, cfg.mem_port_width)
+
+
+def simulate_kernel(kernel: str, isa: str, way: int, latency: int = 1,
+                    scale: int = 1) -> SimResult:
+    """Simulate one (kernel, ISA, width) point of the Figure 5 grid."""
+    built = built_kernel(kernel, isa, scale)
+    cfg = machine_config(way, isa)
+    memsys = perfect_memory_for(way, isa, latency)
+    return Core(cfg, memsys).run(built.trace)
+
+
+@dataclass
+class SpeedupPoint:
+    """One bar of Figure 5: cycles and speedup vs the 1-way Alpha run."""
+
+    kernel: str
+    isa: str
+    way: int
+    cycles: int
+    speedup: float
+
+
+def kernel_speedup_grid(kernel: str, isas=("alpha", "mmx", "mdmx", "mom"),
+                        ways=(1, 2, 4, 8), latency: int = 1,
+                        scale: int = 1) -> list[SpeedupPoint]:
+    """The full per-kernel grid, normalized to 1-way Alpha (as Figure 5)."""
+    baseline = simulate_kernel(kernel, "alpha", 1, latency=latency,
+                               scale=scale).cycles
+    points = []
+    for way in ways:
+        for isa in isas:
+            res = simulate_kernel(kernel, isa, way, latency=latency, scale=scale)
+            points.append(SpeedupPoint(
+                kernel=kernel, isa=isa, way=way, cycles=res.cycles,
+                speedup=baseline / res.cycles,
+            ))
+    return points
+
+
+def format_grid(points: list[SpeedupPoint]) -> str:
+    """Render a Figure 5 panel as an aligned text table."""
+    isas = []
+    ways = []
+    for p in points:
+        if p.isa not in isas:
+            isas.append(p.isa)
+        if p.way not in ways:
+            ways.append(p.way)
+    lines = ["        " + "".join(f"{isa:>10s}" for isa in isas)]
+    for way in ways:
+        row = [f"{way}-way  "]
+        for isa in isas:
+            match = next(p for p in points if p.way == way and p.isa == isa)
+            row.append(f"{match.speedup:9.1f}x")
+        lines.append("".join(row))
+    return "\n".join(lines)

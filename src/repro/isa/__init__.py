@@ -1,0 +1,11 @@
+"""ISA tables and register-file modelling shared by all simulated ISAs."""
+
+from .model import ElemType, InstrClass, IsaTable, Opcode, RegPool, RegisterFileSpec
+from .alpha import ALPHA
+from .mmx import MMX
+from .mdmx import MDMX
+
+__all__ = [
+    "ElemType", "InstrClass", "IsaTable", "Opcode", "RegPool",
+    "RegisterFileSpec", "ALPHA", "MMX", "MDMX",
+]

@@ -1,0 +1,129 @@
+"""Scalar baseline ISA (Alpha-like).
+
+The paper's methodology (Section 3.1) is explicit that every media extension
+is layered on top of the **Alpha** ISA -- "although we use the name MMX ...
+we have added the MMX opcodes to the Alpha ISA".  This module declares the
+scalar subset that the hand-written kernels and the scalar-section
+synthesizer need: loads/stores of every width, integer arithmetic, logicals,
+shifts, compares, conditional moves, byte-manipulation and control flow, plus
+a small FP group.
+
+Latencies follow a late-1990s out-of-order core (MIPS R10000 / Alpha 21264
+ballpark): single-cycle simple integer ops, pipelined multi-cycle multiplies
+and long non-pipelined divides.
+"""
+
+from __future__ import annotations
+
+from .model import ElemType, InstrClass, IsaTable, Opcode
+
+#: Execution latencies (cycles) for the scalar core.
+INT_MUL_LATENCY = 6
+INT_DIV_LATENCY = 30
+FP_ADD_LATENCY = 4
+FP_MUL_LATENCY = 4
+FP_DIV_LATENCY = 16
+
+ALPHA = IsaTable("alpha")
+
+
+def _op(
+    name: str,
+    iclass: InstrClass,
+    latency: int = 1,
+    category: str = "arith",
+    description: str = "",
+) -> Opcode:
+    return ALPHA.add(
+        Opcode(
+            name=name,
+            isa="alpha",
+            iclass=iclass,
+            latency=latency,
+            elem=ElemType.NONE,
+            category=category,
+            description=description,
+        )
+    )
+
+
+# --- memory -----------------------------------------------------------------
+_op("ldq", InstrClass.LOAD, 1, "memory", "load 64-bit quadword")
+_op("ldl", InstrClass.LOAD, 1, "memory", "load 32-bit longword, sign-extend")
+_op("ldwu", InstrClass.LOAD, 1, "memory", "load 16-bit word, zero-extend")
+_op("ldbu", InstrClass.LOAD, 1, "memory", "load 8-bit byte, zero-extend")
+_op("ldq_u", InstrClass.LOAD, 1, "memory", "load unaligned quadword")
+_op("ldt", InstrClass.LOAD, 1, "memory", "load FP double")
+_op("lds", InstrClass.LOAD, 1, "memory", "load FP single")
+_op("stq", InstrClass.STORE, 1, "memory", "store 64-bit quadword")
+_op("stl", InstrClass.STORE, 1, "memory", "store 32-bit longword")
+_op("stw", InstrClass.STORE, 1, "memory", "store 16-bit word")
+_op("stb", InstrClass.STORE, 1, "memory", "store 8-bit byte")
+_op("stt", InstrClass.STORE, 1, "memory", "store FP double")
+
+# --- integer arithmetic ------------------------------------------------------
+_op("lda", InstrClass.INT_SIMPLE, 1, "arith", "load address (add immediate)")
+_op("addq", InstrClass.INT_SIMPLE, 1, "arith", "64-bit add")
+_op("subq", InstrClass.INT_SIMPLE, 1, "arith", "64-bit subtract")
+_op("addl", InstrClass.INT_SIMPLE, 1, "arith", "32-bit add, sign-extend")
+_op("subl", InstrClass.INT_SIMPLE, 1, "arith", "32-bit subtract, sign-extend")
+_op("s4addq", InstrClass.INT_SIMPLE, 1, "arith", "scaled add: ra*4 + rb")
+_op("s8addq", InstrClass.INT_SIMPLE, 1, "arith", "scaled add: ra*8 + rb")
+_op("mulq", InstrClass.INT_COMPLEX, INT_MUL_LATENCY, "arith", "64-bit multiply")
+_op("mull", InstrClass.INT_COMPLEX, INT_MUL_LATENCY, "arith", "32-bit multiply")
+_op("umulh", InstrClass.INT_COMPLEX, INT_MUL_LATENCY, "arith", "unsigned mul high")
+_op("divq", InstrClass.INT_COMPLEX, INT_DIV_LATENCY, "arith", "64-bit divide")
+
+# --- logicals / shifts -------------------------------------------------------
+_op("and_", InstrClass.INT_SIMPLE, 1, "logical", "bitwise and")
+_op("bis", InstrClass.INT_SIMPLE, 1, "logical", "bitwise or (also used as mov)")
+_op("xor", InstrClass.INT_SIMPLE, 1, "logical", "bitwise xor")
+_op("bic", InstrClass.INT_SIMPLE, 1, "logical", "and-not")
+_op("ornot", InstrClass.INT_SIMPLE, 1, "logical", "or-not")
+_op("eqv", InstrClass.INT_SIMPLE, 1, "logical", "xor-not")
+_op("sll", InstrClass.INT_SIMPLE, 1, "logical", "shift left logical")
+_op("srl", InstrClass.INT_SIMPLE, 1, "logical", "shift right logical")
+_op("sra", InstrClass.INT_SIMPLE, 1, "logical", "shift right arithmetic")
+
+# --- compares / conditional moves -------------------------------------------
+_op("cmpeq", InstrClass.INT_SIMPLE, 1, "compare", "compare equal")
+_op("cmplt", InstrClass.INT_SIMPLE, 1, "compare", "compare signed less-than")
+_op("cmple", InstrClass.INT_SIMPLE, 1, "compare", "compare signed less-equal")
+_op("cmpult", InstrClass.INT_SIMPLE, 1, "compare", "compare unsigned less-than")
+_op("cmpule", InstrClass.INT_SIMPLE, 1, "compare", "compare unsigned less-equal")
+_op("cmovne", InstrClass.INT_SIMPLE, 1, "compare", "move if non-zero")
+_op("cmoveq", InstrClass.INT_SIMPLE, 1, "compare", "move if zero")
+_op("cmovlt", InstrClass.INT_SIMPLE, 1, "compare", "move if negative")
+_op("cmovge", InstrClass.INT_SIMPLE, 1, "compare", "move if non-negative")
+
+# --- byte manipulation (Alpha's sub-word toolbox) ----------------------------
+_op("extbl", InstrClass.INT_SIMPLE, 1, "byte", "extract byte low")
+_op("extwl", InstrClass.INT_SIMPLE, 1, "byte", "extract word low")
+_op("insbl", InstrClass.INT_SIMPLE, 1, "byte", "insert byte low")
+_op("mskbl", InstrClass.INT_SIMPLE, 1, "byte", "mask byte low")
+_op("zap", InstrClass.INT_SIMPLE, 1, "byte", "zero selected bytes")
+_op("zapnot", InstrClass.INT_SIMPLE, 1, "byte", "zero unselected bytes")
+_op("sextb", InstrClass.INT_SIMPLE, 1, "byte", "sign-extend byte")
+_op("sextw", InstrClass.INT_SIMPLE, 1, "byte", "sign-extend word")
+
+# --- floating point -----------------------------------------------------------
+_op("addt", InstrClass.FP_SIMPLE, FP_ADD_LATENCY, "fp", "FP add double")
+_op("subt", InstrClass.FP_SIMPLE, FP_ADD_LATENCY, "fp", "FP subtract double")
+_op("cmptlt", InstrClass.FP_SIMPLE, FP_ADD_LATENCY, "fp", "FP compare less-than")
+_op("cvttq", InstrClass.FP_SIMPLE, FP_ADD_LATENCY, "fp", "convert double to int")
+_op("cvtqt", InstrClass.FP_SIMPLE, FP_ADD_LATENCY, "fp", "convert int to double")
+_op("mult", InstrClass.FP_COMPLEX, FP_MUL_LATENCY, "fp", "FP multiply double")
+_op("divt", InstrClass.FP_COMPLEX, FP_DIV_LATENCY, "fp", "FP divide double")
+
+# --- control flow -------------------------------------------------------------
+_op("br", InstrClass.JUMP, 1, "control", "unconditional branch")
+_op("jsr", InstrClass.JUMP, 1, "control", "jump to subroutine")
+_op("ret", InstrClass.JUMP, 1, "control", "return from subroutine")
+_op("beq", InstrClass.BRANCH, 1, "control", "branch if zero")
+_op("bne", InstrClass.BRANCH, 1, "control", "branch if non-zero")
+_op("blt", InstrClass.BRANCH, 1, "control", "branch if negative")
+_op("ble", InstrClass.BRANCH, 1, "control", "branch if non-positive")
+_op("bgt", InstrClass.BRANCH, 1, "control", "branch if positive")
+_op("bge", InstrClass.BRANCH, 1, "control", "branch if non-negative")
+
+_op("nop", InstrClass.NOP, 1, "control", "no operation")

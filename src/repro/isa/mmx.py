@@ -1,0 +1,160 @@
+"""MMX-like multimedia extension (67 opcodes).
+
+Models the paper's *MMX emulation library* (Section 3.1): an MMX-flavoured
+sub-word SIMD extension layered on the Alpha ISA with
+
+* an independent media register file with **32 logical registers** (the real
+  MMX has 8; the paper deliberately gives every ISA the same headroom),
+* **three-operand** instructions (two sources, one distinct destination),
+* "enhanced reduction operations" (horizontal sums, sum-of-absolute
+  differences) and extras such as vector average and conditional move.
+
+The table below contains exactly 67 opcodes -- the number the paper reports
+for its MMX library -- grouped in documented categories.  Functional
+semantics live in :mod:`repro.emulib.mmx_builder`.
+"""
+
+from __future__ import annotations
+
+from .model import ElemType, InstrClass, IsaTable, Opcode
+
+#: Latency of packed multiply / multiply-add style media operations.
+MED_MUL_LATENCY = 4
+
+MMX = IsaTable("mmx")
+
+
+def _op(
+    name: str,
+    iclass: InstrClass,
+    elem: ElemType,
+    latency: int = 1,
+    category: str = "arith",
+    description: str = "",
+) -> Opcode:
+    return MMX.add(
+        Opcode(
+            name=name,
+            isa="mmx",
+            iclass=iclass,
+            latency=latency,
+            elem=elem,
+            category=category,
+            description=description,
+        )
+    )
+
+
+_E = ElemType
+
+# --- memory (3) ---------------------------------------------------------------
+_op("mmx_ldq", InstrClass.MED_LOAD, _E.Q, 1, "memory", "load 64-bit word to media reg")
+_op("mmx_stq", InstrClass.MED_STORE, _E.Q, 1, "memory", "store media reg (64-bit)")
+_op("mmx_ldq_u", InstrClass.MED_LOAD, _E.Q, 1, "memory", "unaligned 64-bit media load")
+
+# --- data movement (4) ----------------------------------------------------------
+_op("movq", InstrClass.MED_SIMPLE, _E.Q, 1, "move", "media register copy")
+_op("movd_to", InstrClass.MED_SIMPLE, _E.Q, 1, "move", "integer reg -> media reg")
+_op("movd_from", InstrClass.MED_SIMPLE, _E.Q, 1, "move", "media reg -> integer reg")
+_op("pshufh", InstrClass.MED_SIMPLE, _E.H, 1, "move", "shuffle 16-bit halfwords")
+
+# --- packed add (7) ------------------------------------------------------------
+_op("paddb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed add, wraparound bytes")
+_op("paddh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed add, wraparound halves")
+_op("paddw", InstrClass.MED_SIMPLE, _E.W, 1, "arith", "packed add, wraparound words")
+_op("paddsb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed add, signed saturate")
+_op("paddsh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed add, signed saturate")
+_op("paddusb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed add, unsigned saturate")
+_op("paddush", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed add, unsigned saturate")
+
+# --- packed subtract (7) ---------------------------------------------------------
+_op("psubb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed sub, wraparound bytes")
+_op("psubh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed sub, wraparound halves")
+_op("psubw", InstrClass.MED_SIMPLE, _E.W, 1, "arith", "packed sub, wraparound words")
+_op("psubsb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed sub, signed saturate")
+_op("psubsh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed sub, signed saturate")
+_op("psubusb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed sub, unsigned saturate")
+_op("psubush", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed sub, unsigned saturate")
+
+# --- packed multiply (4) ---------------------------------------------------------
+_op("pmullh", InstrClass.MED_COMPLEX, _E.H, MED_MUL_LATENCY, "mul",
+    "packed multiply halves, low 16 bits of product")
+_op("pmulhh", InstrClass.MED_COMPLEX, _E.H, MED_MUL_LATENCY, "mul",
+    "packed multiply halves, high 16 bits of signed product")
+_op("pmulhuh", InstrClass.MED_COMPLEX, _E.H, MED_MUL_LATENCY, "mul",
+    "packed multiply halves, high 16 bits of unsigned product")
+_op("pmaddh", InstrClass.MED_COMPLEX, _E.H, MED_MUL_LATENCY, "mul",
+    "multiply adjacent 16-bit pairs, add into 32-bit lanes (PMADDWD)")
+
+# --- average / absolute difference / SAD (5) -------------------------------------
+_op("pavgb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed rounded average bytes")
+_op("pavgh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed rounded average halves")
+_op("pabsdiffb", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed |a-b| bytes")
+_op("pabsdiffh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed |a-b| halves")
+_op("psadb", InstrClass.MED_COMPLEX, _E.B, MED_MUL_LATENCY, "reduction",
+    "sum of absolute byte differences into 16-bit scalar result")
+
+# --- min / max (4) ----------------------------------------------------------------
+_op("pminub", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed unsigned min bytes")
+_op("pmaxub", InstrClass.MED_SIMPLE, _E.B, 1, "arith", "packed unsigned max bytes")
+_op("pminsh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed signed min halves")
+_op("pmaxsh", InstrClass.MED_SIMPLE, _E.H, 1, "arith", "packed signed max halves")
+
+# --- logical (4) -------------------------------------------------------------------
+_op("pand", InstrClass.MED_SIMPLE, _E.Q, 1, "logical", "bitwise and")
+_op("pandn", InstrClass.MED_SIMPLE, _E.Q, 1, "logical", "bitwise and-not")
+_op("por", InstrClass.MED_SIMPLE, _E.Q, 1, "logical", "bitwise or")
+_op("pxor", InstrClass.MED_SIMPLE, _E.Q, 1, "logical", "bitwise xor")
+
+# --- shifts (8) --------------------------------------------------------------------
+_op("psllh", InstrClass.MED_SIMPLE, _E.H, 1, "shift", "shift left logical halves")
+_op("psllw", InstrClass.MED_SIMPLE, _E.W, 1, "shift", "shift left logical words")
+_op("psllq", InstrClass.MED_SIMPLE, _E.Q, 1, "shift", "shift left logical quadword")
+_op("psrlh", InstrClass.MED_SIMPLE, _E.H, 1, "shift", "shift right logical halves")
+_op("psrlw", InstrClass.MED_SIMPLE, _E.W, 1, "shift", "shift right logical words")
+_op("psrlq", InstrClass.MED_SIMPLE, _E.Q, 1, "shift", "shift right logical quadword")
+_op("psrah", InstrClass.MED_SIMPLE, _E.H, 1, "shift", "shift right arithmetic halves")
+_op("psraw", InstrClass.MED_SIMPLE, _E.W, 1, "shift", "shift right arithmetic words")
+
+# --- compares (6) -------------------------------------------------------------------
+_op("pcmpeqb", InstrClass.MED_SIMPLE, _E.B, 1, "compare", "lane mask: a == b, bytes")
+_op("pcmpeqh", InstrClass.MED_SIMPLE, _E.H, 1, "compare", "lane mask: a == b, halves")
+_op("pcmpeqw", InstrClass.MED_SIMPLE, _E.W, 1, "compare", "lane mask: a == b, words")
+_op("pcmpgtb", InstrClass.MED_SIMPLE, _E.B, 1, "compare", "lane mask: a > b, bytes")
+_op("pcmpgth", InstrClass.MED_SIMPLE, _E.H, 1, "compare", "lane mask: a > b, halves")
+_op("pcmpgtw", InstrClass.MED_SIMPLE, _E.W, 1, "compare", "lane mask: a > b, words")
+
+# --- pack / unpack (9) ----------------------------------------------------------------
+_op("packsshb", InstrClass.MED_SIMPLE, _E.H, 1, "pack",
+    "pack halves to bytes, signed saturate")
+_op("packushb", InstrClass.MED_SIMPLE, _E.H, 1, "pack",
+    "pack halves to bytes, unsigned saturate")
+_op("packsswh", InstrClass.MED_SIMPLE, _E.W, 1, "pack",
+    "pack words to halves, signed saturate")
+_op("punpcklb", InstrClass.MED_SIMPLE, _E.B, 1, "pack", "interleave low bytes")
+_op("punpckhb", InstrClass.MED_SIMPLE, _E.B, 1, "pack", "interleave high bytes")
+_op("punpcklh", InstrClass.MED_SIMPLE, _E.H, 1, "pack", "interleave low halves")
+_op("punpckhh", InstrClass.MED_SIMPLE, _E.H, 1, "pack", "interleave high halves")
+_op("punpcklw", InstrClass.MED_SIMPLE, _E.W, 1, "pack", "interleave low words")
+_op("punpckhw", InstrClass.MED_SIMPLE, _E.W, 1, "pack", "interleave high words")
+
+# --- conditional move (1) ---------------------------------------------------------------
+_op("pcmov", InstrClass.MED_SIMPLE, _E.Q, 1, "compare",
+    "bitwise select: (mask & a) | (~mask & b)")
+
+# --- enhanced reductions (3) --------------------------------------------------------------
+_op("psumb", InstrClass.MED_COMPLEX, _E.B, MED_MUL_LATENCY, "reduction",
+    "horizontal sum of bytes into scalar lane")
+_op("psumh", InstrClass.MED_COMPLEX, _E.H, MED_MUL_LATENCY, "reduction",
+    "horizontal sum of halves into scalar lane")
+_op("psumw", InstrClass.MED_COMPLEX, _E.W, MED_MUL_LATENCY, "reduction",
+    "horizontal sum of words into scalar lane")
+
+# --- extract / insert (2) --------------------------------------------------------------------
+_op("pextrh", InstrClass.MED_SIMPLE, _E.H, 1, "move", "extract halfword to int reg")
+_op("pinsrh", InstrClass.MED_SIMPLE, _E.H, 1, "move", "insert halfword from int reg")
+
+#: The paper reports exactly 67 instructions in its MMX emulation library.
+EXPECTED_OPCODE_COUNT = 67
+
+assert len(MMX) == EXPECTED_OPCODE_COUNT, f"MMX table has {len(MMX)} opcodes"

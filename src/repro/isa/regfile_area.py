@@ -1,0 +1,79 @@
+"""Register-file size and area model (Table 2).
+
+The paper sizes each extension's media register file and estimates its area
+with the model of Lopez, Llosa, Valero & Ayguade ("Resource widening versus
+replication", ICS'98): the area of a multiported SRAM cell grows
+quadratically with its port count, because each port adds one wordline and
+one bitline pair:
+
+    cell_area ~ (1 + ports)^2,    ports = read_ports + write_ports
+
+A banked file pays its ports *per bank* on a fraction of the bits, plus a
+small interconnect overhead for the bank multiplexing (calibrated at 5%,
+which reproduces the paper's normalized 0.87 for MOM).  The punchline of
+Table 2: MOM's matrix file stores **5x more bits** than the MMX file yet
+costs *less* area, because interleaving the rows of every matrix register
+across banks needs only 2R/1W ports per bank instead of the 6R/3W a flat
+64-bit file requires.
+
+Expected normalized areas (paper): MMX 1.00, MDMX 1.19, MOM 0.87.
+Expected sizes: 0.5 KB, 0.78 KB, 2.6 KB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa.model import RegisterFileSpec
+
+#: Interconnect overhead applied to banked register files (bank decoders
+#: and the inter-bank result network), calibrated to the paper's Table 2.
+BANKING_OVERHEAD = 0.05
+
+
+def cell_area_units(read_ports: int, write_ports: int) -> float:
+    """Relative area of one bit cell with the given port count."""
+    ports = read_ports + write_ports
+    if ports < 1:
+        raise ValueError("a register file needs at least one port")
+    return float((1 + ports) ** 2)
+
+
+def file_area_units(spec: RegisterFileSpec) -> float:
+    """Relative area of one physical register file."""
+    bits = spec.size_bits
+    area = bits * cell_area_units(spec.read_ports, spec.write_ports)
+    if spec.banks > 1:
+        area *= 1.0 + BANKING_OVERHEAD
+    return area
+
+
+@dataclass(frozen=True)
+class RegfileReport:
+    """One row of Table 2."""
+
+    isa: str
+    size_kbytes: float
+    area_units: float
+
+    def normalized(self, baseline_area: float) -> float:
+        return self.area_units / baseline_area
+
+
+def table2_report(register_file_specs) -> dict[str, RegfileReport]:
+    """Compute Table 2 for the media ISAs.
+
+    Args:
+        register_file_specs: callable ``isa -> list[RegisterFileSpec]``
+            (normally :func:`repro.cpu.config.register_file_specs`).
+
+    Returns:
+        Mapping ISA name to its report; normalize against ``mmx``.
+    """
+    reports = {}
+    for isa in ("mmx", "mdmx", "mom"):
+        specs = register_file_specs(isa)
+        size = sum(spec.size_kbytes for spec in specs)
+        area = sum(file_area_units(spec) for spec in specs)
+        reports[isa] = RegfileReport(isa=isa, size_kbytes=size, area_units=area)
+    return reports

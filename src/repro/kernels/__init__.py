@@ -1,0 +1,28 @@
+"""The eight multimedia kernels of Section 4.1, in all four ISAs.
+
+Importing this package registers every kernel in
+:data:`repro.kernels.common.KERNELS`:
+
+``idct``, ``motion1``, ``motion2``, ``rgb2ycc``, ``compensation``,
+``addblock``, ``ltpparameters`` and ``h2v2upsample``.
+"""
+
+from .common import ISAS, KERNELS, BuiltKernel, KernelSpec, build_and_check
+from . import addblock      # noqa: F401  (registration side effect)
+from . import compensation  # noqa: F401
+from . import h2v2          # noqa: F401
+from . import idct          # noqa: F401
+from . import ltp           # noqa: F401
+from . import motion        # noqa: F401
+from . import rgb2ycc       # noqa: F401
+
+#: Kernel presentation order used by Figure 5.
+KERNEL_ORDER = (
+    "idct", "motion2", "rgb2ycc", "ltpparameters",
+    "addblock", "compensation", "h2v2upsample", "motion1",
+)
+
+__all__ = [
+    "ISAS", "KERNELS", "KERNEL_ORDER", "BuiltKernel", "KernelSpec",
+    "build_and_check",
+]

@@ -1,0 +1,147 @@
+"""h2v2upsample: JPEG 2x2 chroma upsampling (the paper's "image zoom").
+
+Each input pixel is replicated into a 2x2 output block.  The media versions
+exploit that ``punpcklb(x, x)`` / ``punpckhb(x, x)`` duplicate bytes in
+place; each doubled row is stored twice.  Throughput is store-bound, which
+caps the attainable speedup (the most modest bars of Figure 5).
+
+MOM processes 8 input rows per iteration: one strided matrix load, two
+unpacks, four strided matrix stores (even/odd output rows x low/high output
+columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..emulib.alpha_builder import AlphaBuilder
+from ..emulib.mdmx_builder import MdmxBuilder
+from ..emulib.mmx_builder import MmxBuilder
+from ..emulib.mom_builder import MomBuilder
+from .common import BuiltKernel, KernelSpec, register, rng_for
+
+
+@dataclass
+class UpsampleWorkload:
+    image: np.ndarray      # (height, width) uint8; height % 8 == 0, width % 8 == 0
+
+
+def make_workload(scale: int = 1) -> UpsampleWorkload:
+    rng = rng_for("h2v2", scale)
+    height = 8 * max(1, scale)
+    width = 32
+    return UpsampleWorkload(
+        image=rng.integers(0, 256, (height, width), dtype=np.uint8)
+    )
+
+
+def golden(workload: UpsampleWorkload) -> dict[str, np.ndarray]:
+    doubled = np.repeat(np.repeat(workload.image, 2, axis=0), 2, axis=1)
+    return {"image": doubled}
+
+
+def _read_image(b, out_addr: int, height: int, width: int) -> dict[str, np.ndarray]:
+    flat = b.mem.load_array(out_addr, np.uint8, 4 * height * width)
+    return {"image": flat.reshape(2 * height, 2 * width)}
+
+
+def _build_alpha(workload: UpsampleWorkload) -> BuiltKernel:
+    b = AlphaBuilder()
+    h, w = workload.image.shape
+    in_addr = b.mem.alloc_array(workload.image)
+    out_addr = b.mem.alloc(4 * h * w)
+    ow = 2 * w
+
+    pi, po0, po1, v = b.ireg(), b.ireg(), b.ireg(), b.ireg()
+    cnt = b.ireg()
+    site = b.site()
+
+    for y in range(h):
+        b.li(pi, in_addr + y * w)
+        b.li(po0, out_addr + (2 * y) * ow)
+        b.li(po1, out_addr + (2 * y + 1) * ow)
+        b.li(cnt, w // 4)
+        for x in range(w):
+            b.ldbu(v, pi, x)
+            b.stb(v, po0, 2 * x)
+            b.stb(v, po0, 2 * x + 1)
+            b.stb(v, po1, 2 * x)
+            b.stb(v, po1, 2 * x + 1)
+            if x % 4 == 3:
+                b.subi(cnt, cnt, 1)
+                b.bne(cnt, site)
+    return BuiltKernel(builder=b, outputs=_read_image(b, out_addr, h, w))
+
+
+def _build_packed(workload: UpsampleWorkload, builder_cls) -> BuiltKernel:
+    b = builder_cls()
+    h, w = workload.image.shape
+    in_addr = b.mem.alloc_array(workload.image)
+    out_addr = b.mem.alloc(4 * h * w)
+    ow = 2 * w
+
+    pi, po0, po1 = b.ireg(), b.ireg(), b.ireg()
+    x_reg, lo, hi = b.mreg(), b.mreg(), b.mreg()
+    cnt = b.ireg()
+    site = b.site()
+
+    for y in range(h):
+        b.li(pi, in_addr + y * w)
+        b.li(po0, out_addr + (2 * y) * ow)
+        b.li(po1, out_addr + (2 * y + 1) * ow)
+        b.li(cnt, w // 8)
+        for x in range(0, w, 8):
+            b.m_ldq(x_reg, pi, x)
+            b.punpcklb(lo, x_reg, x_reg)
+            b.punpckhb(hi, x_reg, x_reg)
+            b.m_stq(lo, po0, 2 * x)
+            b.m_stq(hi, po0, 2 * x + 8)
+            b.m_stq(lo, po1, 2 * x)
+            b.m_stq(hi, po1, 2 * x + 8)
+            b.subi(cnt, cnt, 1)
+            b.bne(cnt, site)
+    return BuiltKernel(builder=b, outputs=_read_image(b, out_addr, h, w))
+
+
+def _build_mom(workload: UpsampleWorkload) -> BuiltKernel:
+    b = MomBuilder()
+    h, w = workload.image.shape
+    in_addr = b.mem.alloc_array(workload.image)
+    out_addr = b.mem.alloc(4 * h * w)
+    ow = 2 * w
+
+    pi, po = b.ireg(), b.ireg()
+    in_stride, out_stride = b.ireg(w), b.ireg(2 * ow)
+    x_reg, lo, hi = b.mreg(), b.mreg(), b.mreg()
+    rows = 8
+    b.setvli(rows)
+
+    for y0 in range(0, h, rows):
+        for x in range(0, w, 8):
+            b.li(pi, in_addr + y0 * w + x)
+            b.momldq(x_reg, pi, in_stride)
+            b.punpcklb(lo, x_reg, x_reg)
+            b.punpckhb(hi, x_reg, x_reg)
+            for row_parity in (0, 1):
+                obase = out_addr + (2 * y0 + row_parity) * ow + 2 * x
+                b.li(po, obase)
+                b.momstq(lo, po, out_stride)
+                b.li(po, obase + 8)
+                b.momstq(hi, po, out_stride)
+    return BuiltKernel(builder=b, outputs=_read_image(b, out_addr, h, w))
+
+
+register(KernelSpec(
+    name="h2v2upsample",
+    description="JPEG 2x2 chroma upsampling (image zoom)",
+    make_workload=make_workload,
+    golden=golden,
+    builders={
+        "alpha": _build_alpha,
+        "mmx": lambda w: _build_packed(w, MmxBuilder),
+        "mdmx": lambda w: _build_packed(w, MdmxBuilder),
+        "mom": _build_mom,
+    },
+))

@@ -1,0 +1,23 @@
+"""The collapsing-buffer cache (Figure 6c).
+
+"The collapsing buffer [Conte et al., ISCA 22] is a more complex version of
+the vector cache that is able to access several vector elements along two
+consecutive cache lines, even if they are not consecutively allocated.
+Instead of the shift&mask logic, the collapsing buffer logic groups the
+requested elements together."
+
+Implementation-wise it is the vector cache with window grouping enabled for
+*every* stride, at the cost of a slightly longer L2-side latency (the 10- vs
+8-cycle entries of Table 3).
+"""
+
+from __future__ import annotations
+
+from .vector_cache import VectorCacheHierarchy
+
+
+class CollapsingBufferHierarchy(VectorCacheHierarchy):
+    """Vector cache whose gather logic collapses non-contiguous elements."""
+
+    def __init__(self, way: int) -> None:
+        super().__init__(way, collapsing=True)

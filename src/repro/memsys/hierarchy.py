@@ -1,0 +1,247 @@
+"""The realistic cache hierarchy (Section 4.2.1) and the conventional system.
+
+Composition, following the Alpha 21364 the paper cites:
+
+* **L1**: 32 KB, direct-mapped, write-through, 32-byte lines, no-allocate on
+  store miss, 8 MSHRs, behind ``ports`` cache ports and ``banks`` interleaved
+  banks (Table 3).  Unaligned accesses are split by the port into two
+  aligned accesses.
+* **Write buffer**: 8-deep, coalescing by L2 line, selective flush.
+* **L2**: 1 MB, 2-way, write-back, write-allocate, 128-byte lines, 8 MSHRs.
+* **Main memory**: Direct Rambus (see :mod:`repro.memsys.dram`).
+
+:class:`ConventionalHierarchy` is the memory system used by the Alpha and
+MMX runs of Figure 7 and the scalar side of every MOM configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..emulib.trace import DynInstr
+from .cache import CacheArray, MshrFile, WriteBuffer
+from .dram import DirectRambus
+
+
+@dataclass(frozen=True)
+class HierarchyParams:
+    """Table 3 knobs for one cache organization at one issue width."""
+
+    l1_ports: int
+    l1_banks: int
+    l1_latency: int
+    l2_latency: int
+    #: vector-side port width in elements/cycle (VC/COL organizations).
+    vector_port_width: int = 1
+
+    @staticmethod
+    def conventional(way: int) -> "HierarchyParams":
+        """Conv/MA column of Table 3 (4-way and 8-way machines)."""
+        if way >= 8:
+            return HierarchyParams(l1_ports=4, l1_banks=8, l1_latency=2,
+                                   l2_latency=6)
+        return HierarchyParams(l1_ports=2, l1_banks=4, l1_latency=1,
+                               l2_latency=6)
+
+    @staticmethod
+    def vector(way: int, collapsing: bool) -> "HierarchyParams":
+        """VC/COL column of Table 3; L2 latency 8 (VC) or 10 (COL)."""
+        if way >= 8:
+            return HierarchyParams(l1_ports=2, l1_banks=2, l1_latency=1,
+                                   l2_latency=10 if collapsing else 8,
+                                   vector_port_width=4)
+        return HierarchyParams(l1_ports=1, l1_banks=1, l1_latency=1,
+                               l2_latency=10 if collapsing else 8,
+                               vector_port_width=2)
+
+
+class L2Cache:
+    """1 MB 2-way write-back second-level cache with MSHRs."""
+
+    SIZE = 1 << 20
+    LINE = 128
+    MSHRS = 8
+
+    def __init__(self, dram: DirectRambus, latency: int) -> None:
+        self.array = CacheArray(self.SIZE, self.LINE, assoc=2)
+        self.mshr = MshrFile(self.MSHRS)
+        self.dram = dram
+        self.latency = latency
+        self.writebacks = 0
+
+    def access(self, addr: int, is_store: bool, cycle: int,
+               allow_stall: bool = True) -> int | None:
+        """Access one L2 line; returns data-ready cycle (``None`` = retry).
+
+        ``allow_stall=False`` callers (vector element streams that cannot
+        roll back) get a pessimistic completion instead of a retry when the
+        MSHR file is full.
+        """
+        line_addr = (addr // self.LINE) * self.LINE
+        if self.array.probe(addr):
+            if is_store:
+                self.array.set_dirty(addr)
+            return cycle + self.latency
+        inflight = self.mshr.lookup(self.array.line_of(addr), cycle)
+        if inflight is not None:
+            return max(inflight, cycle + self.latency)
+        fill_done = self.dram.access(line_addr, self.LINE, cycle + self.latency)
+        if not self.mshr.allocate(self.array.line_of(addr), fill_done, cycle):
+            if allow_stall:
+                return None
+            fill_done += self.latency  # charge a serialization penalty
+        victim = self.array.fill(addr, dirty=is_store)
+        if victim is not None:
+            self.writebacks += 1
+            self.dram.access(victim, self.LINE, fill_done)
+        return fill_done + self.latency
+
+    def invalidate(self, addr: int) -> None:
+        self.array.invalidate(addr)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "l2_hits": self.array.hits,
+            "l2_misses": self.array.misses,
+            "l2_miss_rate": self.array.miss_rate,
+            "l2_writebacks": self.writebacks,
+            "l2_mshr_merges": self.mshr.merges,
+        }
+
+
+class L1Cache:
+    """32 KB direct-mapped write-through first-level cache."""
+
+    SIZE = 32 << 10
+    LINE = 32
+    MSHRS = 8
+    WBUF_DEPTH = 8
+
+    def __init__(self, l2: L2Cache, latency: int, banks: int) -> None:
+        self.array = CacheArray(self.SIZE, self.LINE, assoc=1)
+        self.mshr = MshrFile(self.MSHRS)
+        self.l2 = l2
+        self.latency = latency
+        self.banks = banks
+        self.bank_free = [0] * banks
+        self.wbuf = WriteBuffer(self.WBUF_DEPTH, L2Cache.LINE,
+                                drain_interval=l2.latency)
+
+    def _bank_delay(self, addr: int, cycle: int) -> int:
+        """Serialize accesses that collide on one interleaved bank."""
+        bank = self.array.line_of(addr) % self.banks
+        start = max(cycle, self.bank_free[bank])
+        self.bank_free[bank] = start + 1
+        return start
+
+    def load(self, addr: int, cycle: int, allow_stall: bool = True) -> int | None:
+        start = self._bank_delay(addr, cycle)
+        flush = self.wbuf.flush_line(addr, start)
+        if self.array.probe(addr):
+            return start + self.latency + flush
+        line = self.array.line_of(addr)
+        inflight = self.mshr.lookup(line, start)
+        if inflight is not None:
+            return max(inflight, start + self.latency) + flush
+        l2_done = self.l2.access(addr, False, start + self.latency + flush,
+                                 allow_stall=allow_stall)
+        if l2_done is None:
+            return None
+        if not self.mshr.allocate(line, l2_done + self.latency, start):
+            if allow_stall:
+                return None
+            l2_done += self.latency
+        self.array.fill(addr)        # write-through L1: lines never dirty
+        return l2_done + self.latency
+
+    def store(self, addr: int, cycle: int) -> int | None:
+        """Write-through, no-allocate; completes when buffered."""
+        start = self._bank_delay(addr, cycle)
+        if not self.wbuf.push(addr, start):
+            return None
+        if self.array.contains(addr):
+            self.array.probe(addr)   # update LRU/hit stats on write hit
+        return start + self.latency
+
+    def invalidate(self, addr: int) -> bool:
+        return self.array.invalidate(addr)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "l1_hits": self.array.hits,
+            "l1_misses": self.array.misses,
+            "l1_miss_rate": self.array.miss_rate,
+            "wbuf_coalesced": self.wbuf.coalesced,
+            "wbuf_full_stalls": self.wbuf.full_stalls,
+            "wbuf_selective_flushes": self.wbuf.selective_flushes,
+        }
+
+
+class ConventionalHierarchy:
+    """The baseline memory system: ports -> banked L1 -> WB -> L2 -> DRDRAM.
+
+    Used for the Alpha and MMX full-program runs.  Scalar and MMX media
+    accesses are single words; unaligned words are decoupled into two
+    aligned accesses by the port, as the paper specifies.
+    """
+
+    def __init__(self, way: int, params: HierarchyParams | None = None) -> None:
+        self.params = params or HierarchyParams.conventional(way)
+        self.dram = DirectRambus()
+        self.l2 = L2Cache(self.dram, self.params.l2_latency)
+        self.l1 = L1Cache(self.l2, self.params.l1_latency, self.params.l1_banks)
+        self.port_free = [0] * self.params.l1_ports
+        self.unaligned_splits = 0
+
+    # --- port machinery ----------------------------------------------------------
+
+    def _claim_port(self, cycle: int, slots: int) -> int | None:
+        """Claim one port for ``slots`` cycles; returns start cycle."""
+        for i, free in enumerate(self.port_free):
+            if free <= cycle:
+                self.port_free[i] = cycle + slots
+                return cycle
+        return None
+
+    def _split_unaligned(self, instr: DynInstr) -> list[int]:
+        """Aligned sub-accesses of a (possibly unaligned) scalar access."""
+        addr = instr.addr
+        nbytes = max(1, instr.nbytes)
+        if addr % nbytes == 0:
+            return [addr]
+        self.unaligned_splits += 1
+        first = (addr // nbytes) * nbytes
+        return [first, first + nbytes]
+
+    # --- core-facing API ------------------------------------------------------------
+
+    def try_issue(self, instr: DynInstr, cycle: int) -> int | None:
+        if instr.vl > 1:
+            raise ValueError(
+                "conventional hierarchy cannot issue matrix accesses; "
+                "use the multi-address / vector-cache systems"
+            )
+        return self._scalar_access(instr, cycle)
+
+    def _scalar_access(self, instr: DynInstr, cycle: int) -> int | None:
+        pieces = self._split_unaligned(instr)
+        start = self._claim_port(cycle, len(pieces))
+        if start is None:
+            return None
+        completion = start
+        for i, addr in enumerate(pieces):
+            if instr.iclass.is_store:
+                done = self.l1.store(addr, start + i)
+            else:
+                done = self.l1.load(addr, start + i, allow_stall=False)
+            if done is None:     # write buffer full: retry whole access
+                return None
+            completion = max(completion, done)
+        return completion
+
+    def stats(self) -> dict[str, float]:
+        merged: dict[str, float] = {"unaligned_splits": self.unaligned_splits}
+        merged.update(self.l1.stats())
+        merged.update(self.l2.stats())
+        merged.update(self.dram.stats())
+        return merged

@@ -1,0 +1,152 @@
+"""Application tests: cross-ISA bit-exactness and end-to-end correctness."""
+
+import numpy as np
+import pytest
+
+from repro.apps import APP_ISAS, APP_ORDER, APPS, psnr
+from repro.apps.reference import (rgb2ycc_ref, transform8_ref, upsample2_ref,
+                                  ycc2rgb_ref, quant_ref, dequant_ref)
+from repro.apps.stages import FDCT_MAT, IDCT_MAT
+from repro.apps.workloads import pcm_audio, rgb_image, video_frames
+
+
+@pytest.fixture(scope="module")
+def built():
+    return {
+        (name, isa): APPS[name].build(isa, 1)
+        for name in APP_ORDER for isa in APP_ISAS
+    }
+
+
+def test_registry():
+    assert set(APP_ORDER) == set(APPS)
+    assert len(APPS) == 5
+    assert "gsm_decode" not in APPS      # dropped, as in the paper
+
+
+@pytest.mark.parametrize("app", APP_ORDER)
+def test_outputs_bit_exact_across_isas(built, app):
+    base = built[(app, "alpha")].outputs
+    for isa in ("mmx", "mom"):
+        other = built[(app, isa)].outputs
+        assert set(other) == set(base)
+        for key in base:
+            assert np.array_equal(base[key], other[key]), (app, isa, key)
+
+
+@pytest.mark.parametrize("app", ["mpeg2_decode", "jpeg_decode"])
+def test_decoders_match_reference(built, app):
+    outputs = built[(app, "alpha")].outputs
+    assert np.array_equal(outputs["decoded"], outputs["golden"])
+
+
+def test_mpeg2_decoder_reproduces_encoder_recon(built):
+    enc = built[("mpeg2_encode", "alpha")].outputs["recon"]
+    dec = built[("mpeg2_decode", "alpha")].outputs["decoded"]
+    assert np.array_equal(enc, dec)
+
+
+def test_mpeg2_compression_quality(built):
+    frames = video_frames()
+    recon = built[("mpeg2_encode", "alpha")].outputs["recon"][0]
+    assert psnr(recon, frames[1]) > 25.0
+
+
+def test_jpeg_roundtrip_quality(built):
+    r, g, b = rgb_image()
+    decoded = built[("jpeg_decode", "alpha")].outputs["decoded"]
+    quality = np.mean([psnr(decoded[i], p) for i, p in enumerate((r, g, b))])
+    assert quality > 20.0
+
+
+@pytest.mark.parametrize("app", APP_ORDER)
+def test_instruction_count_ordering(built, app):
+    alpha = len(built[(app, "alpha")].trace)
+    mmx = len(built[(app, "mmx")].trace)
+    mom = len(built[(app, "mom")].trace)
+    assert mom < mmx < alpha
+
+
+@pytest.mark.parametrize("app", APP_ORDER)
+def test_vector_fraction_sensible(built, app):
+    """Scalar Alpha runs are almost fully 'vectorizable phase' (the same
+    functions, scalar-coded); media runs shrink those phases, so their
+    share of the total drops."""
+    alpha = built[(app, "alpha")].vector_fraction()
+    mom = built[(app, "mom")].vector_fraction()
+    assert 0.6 < alpha <= 1.0
+    assert mom < alpha
+
+
+def test_gsm_finds_pitch_lag(built):
+    """The synthesized audio has a 55-sample pitch; LTP should find lags
+    clustered near it (or a harmonic) rather than scattering randomly."""
+    lags = built[("gsm_encode", "alpha")].outputs["lags"]
+    assert len(lags) > 0
+    near = np.abs(lags - 55) <= 3
+    assert near.mean() > 0.5
+
+
+def test_phase_markers_cover_trace(built):
+    app = built[("mpeg2_encode", "alpha")]
+    assert sum(app.phases.values()) == len(app.trace)
+    assert "motion_estimation" in app.phases
+    assert any(k.startswith("scalar_") for k in app.phases)
+
+
+# --- reference helpers ----------------------------------------------------------
+
+def test_transform_ref_roundtrip():
+    rng = np.random.default_rng(0)
+    pixels = rng.integers(-128, 128, (8, 8)).astype(np.int16)
+    coef = transform8_ref(pixels, FDCT_MAT, clamp=False)
+    back = transform8_ref(coef, IDCT_MAT, clamp=True)
+    assert np.abs(back.astype(int) - pixels.astype(int)).max() <= 2
+
+
+def test_quant_dequant_ref():
+    coefs = np.asarray([[-33, 33, 15, -15, 0, 1, -1, 100]] * 8, dtype=np.int16)
+    q = quant_ref(coefs)
+    assert q[0][0] == -2 and q[0][1] == 2       # symmetric around zero
+    d = dequant_ref(q)
+    assert d[0][0] == -32 and d[0][7] == 96
+
+
+def test_colour_conversion_ref_ranges():
+    rng = np.random.default_rng(1)
+    r = rng.integers(0, 256, 256, dtype=np.uint8)
+    g = rng.integers(0, 256, 256, dtype=np.uint8)
+    b = rng.integers(0, 256, 256, dtype=np.uint8)
+    y, cb, cr = rgb2ycc_ref(r, g, b)
+    for plane in (y, cb, cr):
+        assert plane.dtype == np.uint8
+    r2, g2, b2 = ycc2rgb_ref(y, cb, cr)
+    # lossy but bounded: the 8-bit conversion pair stays within ~12 levels
+    assert np.abs(r2.astype(int) - r.astype(int)).mean() < 12
+
+
+def test_upsample_ref_shape():
+    plane = np.arange(16, dtype=np.uint8).reshape(4, 4)
+    up = upsample2_ref(plane)
+    assert up.shape == (8, 8)
+    assert up[1][1] == plane[0][0]
+
+
+# --- workloads ------------------------------------------------------------------------
+
+def test_video_frames_move():
+    frames = video_frames(count=3)
+    assert frames.shape == (3, 32, 32)
+    assert not np.array_equal(frames[0], frames[1])
+
+
+def test_rgb_image_planes():
+    r, g, b = rgb_image()
+    assert r.shape == (32, 32) and r.dtype == np.uint8
+
+
+def test_pcm_audio_range_and_pitch():
+    audio = pcm_audio(frames=2)
+    assert audio.shape == (320,)
+    assert audio.min() >= -4096 and audio.max() <= 4095
+    assert np.abs(audio.astype(np.int64)).max() > 500   # not silence

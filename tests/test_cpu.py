@@ -1,0 +1,338 @@
+"""Tests for the out-of-order core, branch predictors and functional units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import AlphaBuilder, MomBuilder
+from repro.cpu import Core, machine_config
+from repro.cpu.bpred import BimodalPredictor, BranchTargetBuffer
+from repro.cpu.config import WAYS, register_file_specs
+from repro.cpu.funit import FuPool, fu_family, needs_complex_unit
+from repro.cpu.config import FuConfig
+from repro.isa.model import InstrClass, RegPool
+from repro.isa.regfile_area import table2_report
+from repro.memsys import PerfectMemory
+
+
+def run_trace(builder, way=4, isa=None, latency=1):
+    isa = isa or builder.isa_name
+    cfg = machine_config(way, isa)
+    mem = PerfectMemory(latency, cfg.mem_ports, cfg.mem_port_width)
+    return Core(cfg, mem).run(builder.trace)
+
+
+# --- branch prediction ------------------------------------------------------------
+
+def test_bimodal_initial_weakly_taken():
+    p = BimodalPredictor(16)
+    assert p.predict(0) is True
+
+
+def test_bimodal_trains_not_taken():
+    p = BimodalPredictor(16)
+    for _ in range(3):
+        p.update(5, False)
+    assert p.predict(5) is False
+
+
+def test_bimodal_counts_mispredicts():
+    p = BimodalPredictor(16)
+    p.predict_and_update(1, False)   # predicted taken -> mispredict
+    p.predict_and_update(1, False)   # weakly not-taken now -> correct
+    assert p.mispredicts == 1 and p.lookups == 2
+    assert 0 < p.accuracy < 1
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=200))
+@settings(max_examples=30)
+def test_bimodal_counters_bounded(outcomes):
+    p = BimodalPredictor(8)
+    for taken in outcomes:
+        p.predict_and_update(3, taken)
+    assert all(0 <= c <= 3 for c in p.counters)
+
+
+def test_bimodal_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        BimodalPredictor(12)
+
+
+def test_btb_miss_then_hit():
+    btb = BranchTargetBuffer(16)
+    assert btb.lookup_insert(5) is False
+    assert btb.lookup_insert(5) is True
+    assert btb.misses == 1 and btb.hits == 1
+
+
+def test_btb_aliasing_evicts():
+    btb = BranchTargetBuffer(16)
+    btb.lookup_insert(5)
+    btb.lookup_insert(5 + 16)     # same index, different tag
+    assert btb.lookup_insert(5) is False
+
+
+# --- functional units -----------------------------------------------------------------
+
+def test_fu_simple_cannot_run_complex():
+    pool = FuPool(FuConfig(simple=1, complex_=0))
+    assert pool.try_issue(True, 0, 1, "mulq", 6) is None
+    assert pool.try_issue(False, 0, 1, "addq", 1) == 1
+
+
+def test_fu_complex_runs_both():
+    pool = FuPool(FuConfig(simple=0, complex_=1))
+    assert pool.try_issue(True, 0, 1, "mulq", 6) == 6
+    # pipelined: next op can issue the following cycle
+    assert pool.try_issue(False, 1, 1, "addq", 1) == 2
+
+
+def test_fu_divide_not_pipelined():
+    pool = FuPool(FuConfig(simple=0, complex_=1))
+    assert pool.try_issue(True, 0, 1, "divq", 30) is not None
+    assert pool.try_issue(False, 1, 1, "addq", 1) is None     # unit busy
+
+
+def test_fu_vector_occupancy():
+    pool = FuPool(FuConfig(simple=0, complex_=1), lanes=1)
+    done = pool.try_issue(True, 0, 16, "pmaddah", 4)
+    assert done == 0 + 16 - 1 + 4
+    assert pool.try_issue(False, 5, 1, "paddb", 1) is None    # still streaming
+
+
+def test_fu_lanes_halve_occupancy():
+    pool = FuPool(FuConfig(simple=0, complex_=1), lanes=2)
+    assert pool.try_issue(True, 0, 16, "pmaddah", 4) == 8 - 1 + 4
+
+
+def test_fu_family_mapping():
+    assert fu_family(InstrClass.INT_COMPLEX) == "int"
+    assert fu_family(InstrClass.FP_SIMPLE) == "fp"
+    assert fu_family(InstrClass.MED_COMPLEX) == "med"
+    assert fu_family(InstrClass.LOAD) is None
+    assert needs_complex_unit(InstrClass.MED_COMPLEX)
+    assert not needs_complex_unit(InstrClass.MED_SIMPLE)
+
+
+# --- machine configurations (Table 1 / Table 2) --------------------------------------------
+
+@pytest.mark.parametrize("way,rob,lsq", [(1, 8, 4), (2, 16, 8),
+                                         (4, 32, 16), (8, 64, 32)])
+def test_table1_rob_lsq(way, rob, lsq):
+    cfg = machine_config(way, "alpha")
+    assert cfg.rob_size == rob and cfg.lsq_size == lsq
+
+
+def test_table1_predictors():
+    assert machine_config(1, "alpha").bimodal_entries == 512
+    assert machine_config(8, "alpha").bimodal_entries == 16384
+    assert machine_config(1, "alpha").btb_entries == 64
+    assert machine_config(8, "alpha").btb_entries == 1024
+
+
+def test_mom_8way_lane_organization():
+    cfg = machine_config(8, "mom")
+    assert cfg.med_units.total == 2 and cfg.med_lanes == 2
+    assert cfg.mem_ports == 2 and cfg.mem_port_width == 2
+    mmx = machine_config(8, "mmx")
+    assert mmx.med_units.total == 4 and mmx.med_lanes == 1
+    assert mmx.mem_ports == 4
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        machine_config(3, "alpha")
+    with pytest.raises(ValueError):
+        machine_config(4, "sse")
+
+
+def test_table2_register_files():
+    cfg = machine_config(4, "mom")
+    assert (cfg.med_logical, cfg.med_phys) == (16, 20)
+    assert (cfg.acc_logical, cfg.acc_phys) == (2, 4)
+    mdmx = machine_config(4, "mdmx")
+    assert (mdmx.med_logical, mdmx.med_phys) == (32, 52)
+    assert (mdmx.acc_logical, mdmx.acc_phys) == (4, 16)
+
+
+def test_table2_sizes_and_areas_match_paper():
+    reports = table2_report(register_file_specs)
+    base = reports["mmx"].area_units
+    assert reports["mmx"].size_kbytes == pytest.approx(0.5, abs=0.01)
+    assert reports["mdmx"].size_kbytes == pytest.approx(0.78, abs=0.01)
+    assert reports["mom"].size_kbytes == pytest.approx(2.59, abs=0.01)
+    assert reports["mdmx"].normalized(base) == pytest.approx(1.19, abs=0.02)
+    assert reports["mom"].normalized(base) == pytest.approx(0.87, abs=0.01)
+
+
+def test_phys_limit_row_units():
+    mom = machine_config(4, "mom")
+    assert mom.phys_limit(RegPool.MED) == 4 * 16
+    assert mom.phys_limit(RegPool.ACC) == 2
+    mmx = machine_config(4, "mmx")
+    assert mmx.phys_limit(RegPool.MED) == 32
+
+
+# --- the cycle-level core -----------------------------------------------------------------
+
+def test_empty_trace_zero_cycles():
+    b = AlphaBuilder()
+    result = run_trace(b)
+    assert result.cycles == 0 and result.instructions == 0
+
+
+def test_single_instruction_latency():
+    b = AlphaBuilder()
+    x = b.ireg(1)
+    b.addi(x, x, 1)
+    result = run_trace(b, way=1)
+    # fetch(1) + front(2) + issue + complete + commit: small but nonzero
+    assert 3 <= result.cycles <= 8
+
+
+def test_ipc_bounded_by_width():
+    for way in WAYS:
+        b = AlphaBuilder()
+        regs = [b.ireg(i) for i in range(8)]
+        for _ in range(50):
+            for i, r in enumerate(regs):
+                b.addi(r, r, 1)
+        result = run_trace(b, way=way)
+        assert result.ipc <= way + 1e-9
+
+
+def test_independent_work_scales_with_width():
+    def build():
+        b = AlphaBuilder()
+        regs = [b.ireg(i) for i in range(8)]
+        for _ in range(100):
+            for r in regs:
+                b.addi(r, r, 1)
+        return b
+    narrow = run_trace(build(), way=1).cycles
+    wide = run_trace(build(), way=4).cycles
+    assert narrow > 2.5 * wide
+
+
+def test_dependence_chain_serializes():
+    b = AlphaBuilder()
+    x = b.ireg(0)
+    for _ in range(100):
+        b.addi(x, x, 1)      # fully serial
+    result = run_trace(b, way=8)
+    assert result.cycles >= 100        # one per cycle at best
+
+
+def test_long_latency_chain():
+    b = AlphaBuilder()
+    x = b.ireg(3)
+    for _ in range(20):
+        b.mulq(x, x, x)      # serial multiplies, latency 6
+    result = run_trace(b, way=8)
+    assert result.cycles >= 20 * 6
+
+
+def test_mispredicted_branches_cost_cycles():
+    def build(pattern):
+        b = AlphaBuilder()
+        site = b.site()
+        x = b.ireg(0)
+        for taken in pattern:
+            b.li(x, 1 if taken else 0)
+            b.bne(x, site)
+            b.addi(x, x, 1)
+        return b
+    steady = run_trace(build([True] * 200), way=4)
+    noisy = run_trace(build([True, False] * 100), way=4)
+    assert noisy.cycles > steady.cycles
+    assert noisy.branch_mispredicts > steady.branch_mispredicts
+
+
+def test_branch_stats_reported():
+    b = AlphaBuilder()
+    site = b.site()
+    x = b.ireg(1)
+    for _ in range(10):
+        b.bne(x, site)
+    result = run_trace(b)
+    assert result.branch_lookups == 10
+
+
+def test_store_then_load_functionally_visible():
+    b = AlphaBuilder()
+    addr = b.mem.alloc(8)
+    base, v, out = b.ireg(addr), b.ireg(42), b.ireg()
+    b.stq(v, base)
+    b.ldq(out, base)
+    assert out.value == 42
+    result = run_trace(b)
+    assert result.instructions == len(b.trace)
+
+
+def test_memory_latency_slows_loads():
+    def build():
+        b = AlphaBuilder()
+        addr = b.mem.alloc(1024)
+        base, v = b.ireg(addr), b.ireg()
+        acc = b.ireg(0)
+        for i in range(64):
+            b.ldq(v, base, 8 * (i % 16))
+            b.addq(acc, acc, v)
+        return b
+    fast = run_trace(build(), latency=1).cycles
+    slow = run_trace(build(), latency=50).cycles
+    assert slow > 2 * fast
+
+
+def test_mom_vector_occupancy_counts():
+    b = MomBuilder()
+    data = np.zeros(256, dtype=np.uint8)
+    addr = b.mem.alloc_array(data)
+    base, stride = b.ireg(addr), b.ireg(16)
+    x, y, z = b.mreg(), b.mreg(), b.mreg()
+    b.setvli(16)
+    b.momldq(x, base, stride)
+    b.momldq(y, base, stride)
+    for _ in range(8):
+        b.paddb(z, x, y)
+    result = run_trace(b, way=4)
+    # eight VL=16 adds on two single-lane units: >= 64 busy cycles
+    assert result.cycles >= 64
+
+
+def test_mom_rename_cap_throttles():
+    """More in-flight matrix rows than 4 spare registers hold must stall."""
+    b = MomBuilder()
+    regs = [b.mreg() for _ in range(10)]
+    b.setvli(16)
+    for _ in range(20):
+        for r in regs:
+            b.mommov(r, regs[0])
+    result = run_trace(b, way=8)
+    assert result.rename_stall_events > 0
+
+
+def test_committed_equals_trace_length():
+    b = AlphaBuilder()
+    x = b.ireg(0)
+    site = b.site()
+    for i in range(50):
+        b.addi(x, x, 1)
+        if i % 5 == 4:
+            b.bne(x, site)
+    result = run_trace(b)
+    assert result.instructions == len(b.trace)
+
+
+@given(st.integers(1, 60), st.sampled_from([1, 2, 4, 8]))
+@settings(max_examples=20, deadline=None)
+def test_cycle_lower_bound_property(n, way):
+    """cycles >= instructions / width, always."""
+    b = AlphaBuilder()
+    regs = [b.ireg(i) for i in range(6)]
+    for i in range(n):
+        b.addi(regs[i % 6], regs[i % 6], 1)
+    result = run_trace(b, way=way)
+    assert result.cycles >= n / way
+    assert result.instructions == n

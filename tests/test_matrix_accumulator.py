@@ -1,0 +1,242 @@
+"""Tests for the MOM matrix register and the packed accumulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accumulator import PackedAccumulator, PipelinedAccumulation
+from repro.core.matrix import MomRegister
+from repro.core import packed
+from repro.isa.model import ElemType
+
+words16 = st.lists(st.integers(0, (1 << 64) - 1), min_size=16, max_size=16)
+
+
+# --- MomRegister -----------------------------------------------------------------
+
+def test_register_starts_zero():
+    reg = MomRegister()
+    assert (reg.rows == 0).all()
+
+
+def test_register_requires_16_rows():
+    with pytest.raises(ValueError):
+        MomRegister(np.zeros(8, dtype=np.uint64))
+
+
+def test_row_accessors_mask():
+    reg = MomRegister()
+    reg.set_row(3, -1)
+    assert reg.get_row(3) == (1 << 64) - 1
+
+
+def test_copy_is_independent():
+    reg = MomRegister()
+    dup = reg.copy()
+    dup.set_row(0, 5)
+    assert reg.get_row(0) == 0
+
+
+def test_lane_matrix_roundtrip():
+    lanes = np.arange(16 * 4, dtype=np.int64).reshape(16, 4)
+    reg = MomRegister.from_lane_matrix(lanes, ElemType.H)
+    assert (reg.to_lane_matrix(ElemType.H) == lanes).all()
+
+
+def test_from_lane_matrix_validates_shape():
+    with pytest.raises(ValueError):
+        MomRegister.from_lane_matrix(np.zeros((16, 3)), ElemType.H)
+    with pytest.raises(ValueError):
+        MomRegister.from_lane_matrix(np.zeros((17, 4)), ElemType.H)
+
+
+def test_partial_rows_zero_filled():
+    reg = MomRegister.from_lane_matrix(np.ones((4, 8)), ElemType.B)
+    assert reg.get_row(3) != 0
+    assert reg.get_row(4) == 0
+
+
+@given(words16)
+@settings(max_examples=30)
+def test_transpose_involution(rows):
+    reg = MomRegister(np.asarray(rows, dtype=np.uint64))
+    for elem in (ElemType.B, ElemType.H, ElemType.W):
+        assert reg.transpose_blocks(elem).transpose_blocks(elem) == reg
+
+
+def test_transpose_h_block_semantics():
+    lanes = np.arange(16 * 4).reshape(16, 4)
+    reg = MomRegister.from_lane_matrix(lanes, ElemType.H)
+    out = reg.transpose_blocks(ElemType.H).to_lane_matrix(ElemType.H)
+    for block in range(4):
+        src = lanes[4 * block : 4 * block + 4]
+        assert (out[4 * block : 4 * block + 4] == src.T).all()
+
+
+def test_transpose_q_is_identity():
+    reg = MomRegister(np.arange(16, dtype=np.uint64))
+    assert reg.transpose_blocks(ElemType.Q) == reg
+
+
+def test_row_shift_directions():
+    reg = MomRegister(np.arange(16, dtype=np.uint64))
+    up = reg.row_shift(towards_zero=True)
+    assert up.get_row(0) == 1 and up.get_row(15) == 0
+    down = reg.row_shift(towards_zero=False)
+    assert down.get_row(0) == 0 and down.get_row(1) == 0
+
+
+def test_equality_and_repr():
+    a = MomRegister(np.arange(16, dtype=np.uint64))
+    b = MomRegister(np.arange(16, dtype=np.uint64))
+    assert a == b and not (a == MomRegister())
+    assert "MomRegister" in repr(a)
+
+
+# --- PackedAccumulator -------------------------------------------------------------
+
+def test_acc_starts_clear():
+    assert PackedAccumulator().bits == 0
+
+
+def test_acc_lane_widths():
+    acc = PackedAccumulator()
+    assert len(acc.lanes(ElemType.B)) == 8
+    assert len(acc.lanes(ElemType.H)) == 4
+    assert len(acc.lanes(ElemType.W)) == 2
+
+
+def test_madd_accumulates_products():
+    acc = PackedAccumulator()
+    a = packed.from_lanes(np.asarray([[100, -100, 3, 4]], dtype=np.int16))[0]
+    acc.madd(a, a, ElemType.H)
+    assert acc.lanes(ElemType.H) == [10000, 10000, 9, 16]
+    acc.madd(a, a, ElemType.H, subtract=True)
+    assert acc.lanes(ElemType.H) == [0, 0, 0, 0]
+
+
+def test_acc_add_and_subtract():
+    acc = PackedAccumulator()
+    acc.acc_add(np.uint64(0x05), np.uint64(0x03), ElemType.B)
+    assert acc.lanes(ElemType.B)[0] == 8
+    acc.acc_add(np.uint64(0x00), np.uint64(0x03), ElemType.B, subtract=True)
+    assert acc.lanes(ElemType.B)[0] == 5
+
+
+def test_acc_sad_and_sqd():
+    acc = PackedAccumulator()
+    acc.acc_sad(np.uint64(10), np.uint64(3), ElemType.B)
+    assert acc.lanes(ElemType.B)[0] == 7
+    acc.acc_sqd(np.uint64(10), np.uint64(3), ElemType.B)
+    assert acc.lanes(ElemType.B)[0] == 7 + 49
+
+
+def test_lane_wraparound_two_complement():
+    acc = PackedAccumulator()
+    acc.acc_add(np.uint64(0), np.uint64(1), ElemType.B, subtract=True)
+    assert acc.lanes(ElemType.B)[0] == -1
+    assert acc.lanes(ElemType.B)[1] == 0    # neighbours untouched
+
+
+def test_read_slice_reassembles_lane():
+    acc = PackedAccumulator()
+    value = 0x123456
+    acc.scalar_add(value)     # lane 0 of B format = low 24 bits
+    lo = acc.read_slice("low", ElemType.B) & 0xFF
+    mid = acc.read_slice("mid", ElemType.B) & 0xFF
+    hi = acc.read_slice("high", ElemType.B) & 0xFF
+    assert lo | (mid << 8) | (hi << 16) == value
+
+
+def test_read_saturated_rounds_and_clips():
+    acc = PackedAccumulator()
+    a = packed.from_lanes(np.asarray([[1000, -1000, 3, 0]], dtype=np.int16))[0]
+    one = packed.from_lanes(np.asarray([[1, 1, 1, 1]], dtype=np.int16))[0]
+    acc.madd(a, one, ElemType.H)
+    word = acc.read_saturated(ElemType.H, signed=True, shift=2)
+    lanes = packed.to_lanes(np.uint64(word), ElemType.H, signed=True)
+    # (x + 2) >> 2 with arithmetic shift: 1000 -> 250, -1000 -> -250, 3 -> 1
+    assert list(lanes) == [250, -250, 1, 0]
+
+
+def test_read_saturated_clips_unsigned():
+    acc = PackedAccumulator()
+    acc.acc_add(np.uint64(0), np.uint64(1), ElemType.B, subtract=True)
+    word = acc.read_saturated(ElemType.B, signed=False)
+    assert word & 0xFF == 0      # -1 clips to 0
+
+
+def test_read_saturated_negative_shift_rejected():
+    with pytest.raises(ValueError):
+        PackedAccumulator().read_saturated(ElemType.B, True, shift=-1)
+
+
+def test_thirds_roundtrip():
+    acc = PackedAccumulator()
+    acc.write_third("low", 0x1111)
+    acc.write_third("mid", 0x2222)
+    acc.write_third("high", 0x3333)
+    assert acc.read_third("low") == 0x1111
+    assert acc.read_third("mid") == 0x2222
+    assert acc.read_third("high") == 0x3333
+
+
+def test_scalar_add_wraps_192_bits():
+    acc = PackedAccumulator()
+    acc.scalar_add((1 << 192) - 1)
+    acc.scalar_add(1)
+    assert acc.bits == 0
+
+
+def test_scalar_total_signed():
+    acc = PackedAccumulator()
+    acc.scalar_add(-5)
+    assert acc.scalar_total(signed=True) == -5
+    assert acc.read_slice("low", ElemType.Q) == (1 << 64) - 5
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=8, max_size=8))
+@settings(max_examples=40)
+def test_acc_matches_integer_reference(deltas):
+    acc = PackedAccumulator()
+    reference = [0] * 8
+    for d in deltas:
+        word = packed.from_lanes(
+            np.asarray([[abs(d) % 256] * 8], dtype=np.int64))[0]
+        acc.acc_sad(word, np.uint64(0), ElemType.B)
+        for i in range(8):
+            reference[i] += abs(d) % 256
+    assert acc.lanes(ElemType.B) == reference
+
+
+def test_acc_copy_and_eq():
+    acc = PackedAccumulator(12345)
+    assert acc.copy() == acc
+    assert acc != PackedAccumulator(1)
+
+
+# --- PipelinedAccumulation ------------------------------------------------------------
+
+def test_mdmx_chain_serializes():
+    model = PipelinedAccumulation(latency=4)
+    assert model.mdmx_cycles(16) == 64
+
+
+def test_mom_streams():
+    model = PipelinedAccumulation(latency=4)
+    assert model.mom_cycles(rows=16, instructions=1) == 20
+    assert model.mom_cycles(rows=16, instructions=2) == 36
+
+
+def test_mom_lanes_halve_streaming():
+    wide = PipelinedAccumulation(latency=4, lanes=2)
+    assert wide.mom_cycles(rows=16) == 12
+
+
+def test_pipelined_validation():
+    with pytest.raises(ValueError):
+        PipelinedAccumulation(latency=0)
+    with pytest.raises(ValueError):
+        PipelinedAccumulation(latency=1).mdmx_cycles(-1)
+    assert PipelinedAccumulation(latency=3).mom_cycles(0) == 0

@@ -1,0 +1,333 @@
+"""Unit and property tests for the packed sub-word arithmetic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import packed
+from repro.isa.model import ElemType
+
+ELEMS = [ElemType.B, ElemType.H, ElemType.W]
+ALL_ELEMS = ELEMS + [ElemType.Q]
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+
+
+def lanes_of(word, elem, signed=False):
+    return packed.to_lanes(np.uint64(word), elem, signed=signed).astype(np.int64)
+
+
+# --- lane packing ---------------------------------------------------------------
+
+@pytest.mark.parametrize("elem", ALL_ELEMS)
+def test_lane_roundtrip(elem):
+    word = np.uint64(0x0123456789ABCDEF)
+    assert int(packed.from_lanes(packed.to_lanes(word, elem))) == int(word)
+
+
+@given(words)
+@settings(max_examples=60)
+def test_lane_roundtrip_property(word):
+    for elem in ALL_ELEMS:
+        assert int(packed.from_lanes(packed.to_lanes(np.uint64(word), elem))) == word
+
+
+def test_to_lanes_little_endian():
+    lanes = packed.to_lanes(np.uint64(0x0807060504030201), ElemType.B)
+    assert list(lanes) == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_to_lanes_signed_view():
+    lanes = packed.to_lanes(np.uint64(0xFF), ElemType.B, signed=True)
+    assert lanes[0] == -1 and lanes[1] == 0
+
+
+def test_to_lanes_array_shape():
+    arr = np.zeros(16, dtype=np.uint64)
+    assert packed.to_lanes(arr, ElemType.H).shape == (16, 4)
+
+
+@pytest.mark.parametrize("elem,expected", [
+    (ElemType.B, 8), (ElemType.H, 4), (ElemType.W, 2), (ElemType.Q, 1),
+])
+def test_lane_count(elem, expected):
+    assert packed.lane_count(elem) == expected
+    assert elem.lanes == expected
+    assert elem.bits == 64 // expected
+
+
+# --- add / sub ---------------------------------------------------------------------
+
+@pytest.mark.parametrize("elem", ELEMS)
+def test_add_wrap_matches_modular(elem):
+    a = np.uint64(0xFFFFFFFFFFFFFFFF)          # every lane at its maximum
+    ones = packed.from_lanes(np.ones((1, elem.lanes), dtype=np.int64))[0]
+    out = lanes_of(packed.add_wrap(a, ones, elem), elem)
+    assert (out == 0).all()
+
+
+def test_add_sat_unsigned_clamps():
+    a = np.uint64(0xFF)
+    assert int(packed.add_sat(a, a, ElemType.B, signed=False)) & 0xFF == 0xFF
+
+
+def test_add_sat_signed_clamps_positive():
+    a = int(np.uint64(0x7F))       # +127 in lane 0
+    out = packed.add_sat(np.uint64(a), np.uint64(1), ElemType.B, signed=True)
+    assert int(out) & 0xFF == 0x7F
+
+
+def test_add_sat_signed_clamps_negative():
+    a = 0x80                        # -128 in lane 0
+    out = packed.add_sat(np.uint64(a), np.uint64(0xFF), ElemType.B, signed=True)
+    assert int(out) & 0xFF == 0x80  # -128 + -1 saturates at -128
+
+
+def test_sub_sat_unsigned_floors_at_zero():
+    out = packed.sub_sat(np.uint64(0x01), np.uint64(0x02), ElemType.B, False)
+    assert int(out) & 0xFF == 0
+
+
+@given(words, words)
+@settings(max_examples=40)
+def test_add_commutes(a, b):
+    for elem in ELEMS:
+        x = packed.add_wrap(np.uint64(a), np.uint64(b), elem)
+        y = packed.add_wrap(np.uint64(b), np.uint64(a), elem)
+        assert int(x) == int(y)
+
+
+@given(words, words)
+@settings(max_examples=40)
+def test_sub_is_add_inverse_mod_lane(a, b):
+    for elem in ELEMS:
+        s = packed.add_wrap(np.uint64(a), np.uint64(b), elem)
+        back = packed.sub_wrap(s, np.uint64(b), elem)
+        assert int(back) == a
+
+
+@given(words, words)
+@settings(max_examples=40)
+def test_saturating_add_bounds(a, b):
+    for elem in ELEMS:
+        smin, smax = -(1 << (elem.bits - 1)), (1 << (elem.bits - 1)) - 1
+        out = lanes_of(packed.add_sat(np.uint64(a), np.uint64(b), elem, True),
+                       elem, signed=True)
+        assert (out >= smin).all() and (out <= smax).all()
+        la = lanes_of(a, elem, signed=True)
+        lb = lanes_of(b, elem, signed=True)
+        expected = np.clip(la + lb, smin, smax)
+        assert (out == expected).all()
+
+
+# --- multiplies -----------------------------------------------------------------------
+
+def test_mul_low_keeps_low_bits():
+    a = np.uint64(0x0003_0002_0001_0100)   # halves: 0x100, 1, 2, 3
+    out = lanes_of(packed.mul_low(a, a, ElemType.H), ElemType.H)
+    assert list(out) == [0x100 * 0x100 & 0xFFFF, 1, 4, 9]
+
+
+def test_mul_high_signed():
+    a = int(np.int16(-30000)) & 0xFFFF
+    out = packed.mul_high(np.uint64(a), np.uint64(a), ElemType.H, signed=True)
+    assert lanes_of(out, ElemType.H, True)[0] == (30000 * 30000) >> 16
+
+
+def test_mul_high_unsigned():
+    out = packed.mul_high(np.uint64(0xFFFF), np.uint64(0xFFFF), ElemType.H, False)
+    assert lanes_of(out, ElemType.H)[0] == (0xFFFF * 0xFFFF) >> 16
+
+
+def test_mul_add_pairs():
+    a = np.uint64(0x0004_0003_0002_0001)   # halves 1,2,3,4
+    out = packed.mul_add_pairs(a, a)
+    w = lanes_of(out, ElemType.W)
+    assert list(w) == [1 + 4, 9 + 16]
+
+
+@given(st.lists(st.integers(-2048, 2047), min_size=4, max_size=4),
+       st.lists(st.integers(-2048, 2047), min_size=4, max_size=4))
+@settings(max_examples=40)
+def test_mul_add_pairs_property(xs, ys):
+    a = packed.from_lanes(np.asarray(xs, dtype=np.int16).reshape(1, 4))[0]
+    b = packed.from_lanes(np.asarray(ys, dtype=np.int16).reshape(1, 4))[0]
+    out = lanes_of(packed.mul_add_pairs(a, b), ElemType.W, signed=True)
+    assert out[0] == xs[0] * ys[0] + xs[1] * ys[1]
+    assert out[1] == xs[2] * ys[2] + xs[3] * ys[3]
+
+
+# --- average / absolute difference / SAD -------------------------------------------------
+
+def test_avg_rounds_up():
+    out = packed.avg_round(np.uint64(1), np.uint64(2), ElemType.B)
+    assert int(out) & 0xFF == 2
+
+
+def test_absdiff_symmetric():
+    a, b = np.uint64(0x10), np.uint64(0x30)
+    assert int(packed.absdiff(a, b, ElemType.B)) == int(packed.absdiff(b, a, ElemType.B))
+    assert int(packed.absdiff(a, b, ElemType.B)) & 0xFF == 0x20
+
+
+@given(words, words)
+@settings(max_examples=40)
+def test_sad_equals_numpy(a, b):
+    la, lb = lanes_of(a, ElemType.B), lanes_of(b, ElemType.B)
+    assert int(packed.sad(np.uint64(a), np.uint64(b))) == int(np.abs(la - lb).sum())
+
+
+def test_sad_zero_for_equal():
+    assert int(packed.sad(np.uint64(12345), np.uint64(12345))) == 0
+
+
+def test_abs_packed_saturates_min():
+    out = packed.abs_packed(np.uint64(0x80), ElemType.B)  # |-128| -> 127 (sat)
+    assert int(out) & 0xFF == 127
+
+
+# --- min / max / compares -------------------------------------------------------------------
+
+def test_minmax_unsigned():
+    a, b = np.uint64(0x01FF), np.uint64(0xFF01)
+    assert lanes_of(packed.minmax(a, b, ElemType.B, False, False), ElemType.B)[0] == 1
+    assert lanes_of(packed.minmax(a, b, ElemType.B, False, True), ElemType.B)[0] == 0xFF
+
+
+def test_minmax_signed_differs_from_unsigned():
+    a, b = np.uint64(0x7F), np.uint64(0x80)     # +127 vs -128 signed
+    assert lanes_of(packed.minmax(a, b, ElemType.B, True, True), ElemType.B, True)[0] == 127
+    assert lanes_of(packed.minmax(a, b, ElemType.B, False, True), ElemType.B)[0] == 0x80
+
+
+def test_cmp_mask_all_ones_or_zero():
+    eq = packed.cmp_mask(np.uint64(5), np.uint64(5), ElemType.B, "eq")
+    assert lanes_of(eq, ElemType.B)[0] == 0xFF
+    assert lanes_of(eq, ElemType.B)[1] == 0xFF    # 0 == 0 in upper lanes
+    gt = packed.cmp_mask(np.uint64(5), np.uint64(9), ElemType.B, "gt")
+    assert int(gt) == 0
+
+
+def test_cmp_mask_bad_op():
+    with pytest.raises(ValueError):
+        packed.cmp_mask(np.uint64(0), np.uint64(0), ElemType.B, "lt")
+
+
+def test_select_mixes_bits():
+    m = np.uint64(0x00FF00FF00FF00FF)
+    a = np.uint64(0x1111111111111111)
+    b = np.uint64(0x2222222222222222)
+    assert int(packed.select(m, a, b)) == 0x2211221122112211
+
+
+@given(words, words, words)
+@settings(max_examples=40)
+def test_select_identity(m, a, b):
+    out = int(packed.select(np.uint64(m), np.uint64(a), np.uint64(b)))
+    assert out == ((m & a) | (~m & b)) & ((1 << 64) - 1)
+
+
+# --- shifts --------------------------------------------------------------------------------------
+
+@pytest.mark.parametrize("elem", ELEMS + [ElemType.Q])
+def test_shift_left_then_right(elem):
+    word = np.uint64(0x0101010101010101)
+    left = packed.shift(word, 1, elem, "sll")
+    back = packed.shift(left, 1, elem, "srl")
+    assert int(back) == int(word)
+
+
+def test_shift_sra_sign_fills():
+    out = packed.shift(np.uint64(0x8000), 15, ElemType.H, "sra")
+    assert lanes_of(out, ElemType.H, True)[0] == -1
+
+
+def test_shift_overlong_logical_zeroes():
+    assert int(packed.shift(np.uint64(0xFF), 8, ElemType.B, "srl")) == 0
+    assert int(packed.shift(np.uint64(0xFF), 9, ElemType.B, "sll")) == 0
+
+
+def test_shift_negative_count_rejected():
+    with pytest.raises(ValueError):
+        packed.shift(np.uint64(1), -1, ElemType.B, "sll")
+
+
+def test_shift_bad_kind_rejected():
+    with pytest.raises(ValueError):
+        packed.shift(np.uint64(1), 1, ElemType.B, "ror")
+
+
+# --- pack / unpack ------------------------------------------------------------------------------------
+
+def test_pack_sat_signed():
+    a = packed.from_lanes(np.asarray([[300, -300, 5, -5]], dtype=np.int64))[0]
+    out = lanes_of(packed.pack_sat(a, a, ElemType.H, True), ElemType.B, True)
+    assert list(out[:4]) == [127, -128, 5, -5]
+
+
+def test_pack_sat_unsigned():
+    a = packed.from_lanes(np.asarray([[300, -300, 5, 200]], dtype=np.int64))[0]
+    out = lanes_of(packed.pack_sat(a, a, ElemType.H, False), ElemType.B)
+    assert list(out[:4]) == [255, 0, 5, 200]
+
+
+def test_unpack_interleave_low_bytes():
+    a = np.uint64(0x0807060504030201)
+    b = np.uint64(0x1817161514131211)
+    out = lanes_of(packed.unpack_interleave(a, b, ElemType.B, high=False), ElemType.B)
+    assert list(out) == [0x01, 0x11, 0x02, 0x12, 0x03, 0x13, 0x04, 0x14]
+
+
+def test_unpack_interleave_high_bytes():
+    a = np.uint64(0x0807060504030201)
+    b = np.uint64(0x1817161514131211)
+    out = lanes_of(packed.unpack_interleave(a, b, ElemType.B, high=True), ElemType.B)
+    assert list(out) == [0x05, 0x15, 0x06, 0x16, 0x07, 0x17, 0x08, 0x18]
+
+
+def test_unpack_promotion_idiom():
+    """punpcklb with zero promotes bytes to halves."""
+    a = np.uint64(0x0807060504030201)
+    out = lanes_of(packed.unpack_interleave(a, np.uint64(0), ElemType.B, False),
+                   ElemType.H)
+    assert list(out) == [1, 2, 3, 4]
+
+
+def test_shuffle_halves():
+    a = np.uint64(0x0004_0003_0002_0001)
+    out = lanes_of(packed.shuffle_halves(a, (0, 1, 0, 1)), ElemType.H)
+    assert list(out) == [1, 2, 1, 2]
+
+
+def test_shuffle_rejects_bad_order():
+    with pytest.raises(ValueError):
+        packed.shuffle_halves(np.uint64(0), (0, 1, 2))
+    with pytest.raises(ValueError):
+        packed.shuffle_halves(np.uint64(0), (0, 1, 2, 4))
+
+
+# --- reductions / helpers --------------------------------------------------------------------------------
+
+@pytest.mark.parametrize("elem", ELEMS)
+def test_horizontal_sum(elem):
+    word = np.uint64(0x0101010101010101)
+    total = int(packed.horizontal_sum(word, elem))
+    lanes = lanes_of(word, elem)
+    assert total == int(lanes.sum())
+
+
+def test_word_bytes_roundtrip():
+    word = packed.word_from_bytes(bytes([1, 2, 3]))
+    assert packed.word_to_bytes(word) == bytes([1, 2, 3, 0, 0, 0, 0, 0])
+
+
+def test_word_from_bytes_too_long():
+    with pytest.raises(ValueError):
+        packed.word_from_bytes(bytes(range(9)))
+
+
+def test_saturate_unsigned_range():
+    vals = np.asarray([-5, 0, 255, 300], dtype=np.int64)
+    out = packed.saturate(vals, ElemType.B, signed=False)
+    assert list(out) == [0, 0, 255, 255]
