@@ -1,14 +1,26 @@
 """Shared fixtures for the benchmark harness.
 
 Each benchmark regenerates one table or figure of the paper.  Heavy
-artifacts (verified kernel/app builds) are cached per session so the
-timed region is the *simulation*, not the trace construction.
+artifacts (verified kernel/app builds) are memoized per process by the
+experiment engine, and cycle-level results persist in its on-disk cache --
+so the first run times the *simulation*, while a warm-cache rerun of the
+full grid skips simulation entirely and times only the cache reads.
+
+Set ``REPRO_NO_CACHE=1`` to force every benchmark to re-simulate.
 """
 
 import pytest
+
+from repro.exp import Session, default_session
 
 
 def pytest_configure(config):
     # Keep benchmark runs deterministic and comparable.
     config.option.benchmark_min_rounds = 1
     config.option.benchmark_warmup = False
+
+
+@pytest.fixture(scope="session")
+def exp_session() -> Session:
+    """The process-wide engine session every benchmark shares."""
+    return default_session()

@@ -5,27 +5,26 @@ Runs the MPEG-2-style application from :mod:`repro.apps` on its synthetic
 moving-object workload in all three full-program configurations, verifies
 the decoder reproduces the encoder's reconstruction bit-exactly, reports
 compression quality, and compares cycles on the realistic 4-way memory
-hierarchies of Figure 7.
+hierarchies of Figure 7 -- simulated through the unified experiment engine,
+so a rerun serves every point from the persistent result cache.
 
 Run:  python examples/codec_pipeline.py
 """
 
 import numpy as np
 
-from repro.apps import APPS, psnr
+from repro.apps import psnr
 from repro.apps.workloads import video_frames
-from repro.cpu import Core, machine_config
-from repro.memsys import ConventionalHierarchy, MultiAddressHierarchy
+from repro.exp import PointSpec, SweepSpec, built_app, default_session
 
 
 def main() -> None:
     frames = video_frames()
-    encode, decode = APPS["mpeg2_encode"], APPS["mpeg2_decode"]
 
     built = {}
     for isa in ("alpha", "mmx", "mom"):
-        enc = encode.build(isa, 1)
-        dec = decode.build(isa, 1)
+        enc = built_app("mpeg2_encode", isa)
+        dec = built_app("mpeg2_decode", isa)
         assert np.array_equal(dec.outputs["decoded"], enc.outputs["recon"]), \
             "decoder must reproduce the encoder's reconstruction"
         built[isa] = (enc, dec)
@@ -38,17 +37,19 @@ def main() -> None:
           f"(quantizer step 16)")
 
     print("\nEncoder cycles on the realistic 4-way hierarchy:")
-    configs = (
-        ("alpha", ConventionalHierarchy), ("mmx", ConventionalHierarchy),
-        ("mom", MultiAddressHierarchy),
-    )
+    session = default_session()
+    sweep = SweepSpec(name="codec-demo", kind="app",
+                      targets=("mpeg2_encode",), ways=(4,),
+                      pairs=(("alpha", "conventional"),
+                             ("mmx", "conventional"),
+                             ("mom", "multiaddress")))
+    results = session.run(sweep)
     baseline = None
-    for isa, mem_cls in configs:
-        cfg = machine_config(4, isa)
-        cycles = Core(cfg, mem_cls(4)).run(built[isa][0].trace).cycles
+    for point in sweep.points():
+        cycles = results[point].cycles
         if baseline is None:
             baseline = cycles
-        print(f"  {isa:6s}: {cycles:7d} cycles  "
+        print(f"  {point.isa:6s}: {cycles:7d} cycles  "
               f"({baseline / cycles:4.2f}x vs scalar)")
 
 

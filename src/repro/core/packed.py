@@ -84,12 +84,18 @@ def from_lanes(lanes: np.ndarray) -> np.ndarray:
     """Repack a lane array (as produced by :func:`to_lanes`) into uint64 words.
 
     The trailing axis is collapsed; lane values are masked to their width so
-    callers may pass wider intermediate dtypes.
+    callers may pass wider intermediate dtypes -- including object arrays of
+    Python ints, which the 64-bit ``Q`` operations use for full precision.
     """
     lanes = np.asarray(lanes)
     lane_bits = 64 // lanes.shape[-1]
-    mask = np.uint64((1 << lane_bits) - 1)
-    unsigned = lanes.astype(np.uint64) & mask
+    if lanes.dtype == object:
+        # Mask with Python ints first: negative values must wrap to their
+        # two's-complement image before the uint64 cast.
+        unsigned = (lanes & ((1 << lane_bits) - 1)).astype(np.uint64)
+    else:
+        mask = np.uint64((1 << lane_bits) - 1)
+        unsigned = lanes.astype(np.uint64) & mask
     shifts = np.arange(lanes.shape[-1], dtype=np.uint64) * np.uint64(lane_bits)
     return (unsigned << shifts).sum(axis=-1, dtype=np.uint64)
 
@@ -102,10 +108,22 @@ def saturate(values: np.ndarray, elem: ElemType, signed: bool) -> np.ndarray:
     return np.clip(values, 0, umax)
 
 
+def _wide(lanes: np.ndarray, elem: ElemType) -> np.ndarray:
+    """Widen lanes so sums/products cannot overflow.
+
+    Sub-64-bit lanes fit int64; full-width ``Q`` lanes go through object
+    arrays of Python ints (int64 would wrap unsigned values above 2^63 and
+    overflow at the arithmetic itself).
+    """
+    if elem is ElemType.Q:
+        return lanes.astype(object)
+    return lanes.astype(np.int64)
+
+
 def _binary_wide(a, b, elem: ElemType, signed: bool):
-    """Unpack both operands into int64 lanes for overflow-free arithmetic."""
-    la = to_lanes(a, elem, signed=signed).astype(np.int64)
-    lb = to_lanes(b, elem, signed=signed).astype(np.int64)
+    """Unpack both operands into wide lanes for overflow-free arithmetic."""
+    la = _wide(to_lanes(a, elem, signed=signed), elem)
+    lb = _wide(to_lanes(b, elem, signed=signed), elem)
     return la, lb
 
 
@@ -185,7 +203,7 @@ def sad(a, b, elem: ElemType = ElemType.B) -> np.ndarray:
 
 def abs_packed(a, elem: ElemType) -> np.ndarray:
     """Packed absolute value of signed lanes (saturating ``abs(min)``)."""
-    la = to_lanes(a, elem, signed=True).astype(np.int64)
+    la = _wide(to_lanes(a, elem, signed=True), elem)
     return from_lanes(saturate(np.abs(la), elem, signed=True))
 
 

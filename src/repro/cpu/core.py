@@ -72,6 +72,25 @@ class SimResult:
         """Operations (lane-level work items) per cycle."""
         return self.operations / self.cycles if self.cycles else 0.0
 
+    def to_dict(self) -> dict:
+        """Plain-data image for the persistent result cache (JSON-safe)."""
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "operations": self.operations,
+            "branch_lookups": self.branch_lookups,
+            "branch_mispredicts": self.branch_mispredicts,
+            "btb_misses": self.btb_misses,
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "rename_stall_events": self.rename_stall_events,
+            "mem_stats": dict(self.mem_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimResult":
+        """Inverse of :meth:`to_dict`; round-trips to an equal instance."""
+        return cls(**data)
+
 
 class Core:
     """The cycle-level engine.

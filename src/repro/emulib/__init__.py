@@ -2,6 +2,7 @@
 
 from .memory import Memory
 from .trace import DynInstr, Trace, reg, reg_index, reg_pool
+from .fingerprint import source_fingerprint, trace_digest
 from .alpha_builder import AlphaBuilder
 from .mmx_builder import MmxBuilder
 from .mdmx_builder import MdmxBuilder
@@ -9,5 +10,6 @@ from .mom_builder import MomBuilder
 
 __all__ = [
     "Memory", "DynInstr", "Trace", "reg", "reg_index", "reg_pool",
+    "source_fingerprint", "trace_digest",
     "AlphaBuilder", "MmxBuilder", "MdmxBuilder", "MomBuilder",
 ]

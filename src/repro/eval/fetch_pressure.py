@@ -14,9 +14,11 @@ This driver quantifies that claim on every kernel:
 * **narrow-machine retention** -- the fraction of its own 8-way performance
   each ISA keeps on the 1-way machine (MOM should retain the most).
 
-Run as a module::
+A thin formatter over the ``fetch-pressure`` preset of the unified
+experiment engine; run through the CLI (``repro fetch-pressure``) or as a
+module::
 
-    python -m repro.eval.fetch_pressure
+    python -m repro.eval.fetch_pressure [--jobs N]
 """
 
 from __future__ import annotations
@@ -25,8 +27,10 @@ import argparse
 from dataclasses import dataclass
 
 from ..emulib.disasm import summarize
+from ..exp import PointSpec, built_kernel, default_session, preset
 from ..kernels import KERNEL_ORDER
-from .runner import built_kernel, simulate_kernel
+
+ISAS = ("alpha", "mmx", "mdmx", "mom")
 
 
 @dataclass
@@ -40,22 +44,32 @@ class FetchPressurePoint:
     retention_1way: float       # speedup(1-way) / speedup(8-way)
 
 
-def run(kernels=KERNEL_ORDER, scale: int = 1,
-        quiet: bool = False) -> dict[str, dict[str, FetchPressurePoint]]:
+def run(kernels=KERNEL_ORDER, scale: int = 1, quiet: bool = False,
+        session=None, jobs: int | None = None
+        ) -> dict[str, dict[str, FetchPressurePoint]]:
+    session = session or default_session()
+    sweep = preset("fetch-pressure").replace(targets=tuple(kernels),
+                                             scale=scale)
+    grid = session.run(sweep, jobs=jobs)
+
+    def cycles(kernel: str, isa: str, way: int) -> int:
+        key = PointSpec(kind="kernel", target=kernel, isa=isa, way=way,
+                        scale=scale)
+        return grid[key].cycles
+
     results: dict[str, dict[str, FetchPressurePoint]] = {}
     for kernel in kernels:
         row = {}
-        for isa in ("alpha", "mmx", "mdmx", "mom"):
+        for isa in ISAS:
             built = built_kernel(kernel, isa, scale)
             stats = summarize(built.trace)
-            narrow = simulate_kernel(kernel, isa, 1, scale=scale).cycles
-            wide = simulate_kernel(kernel, isa, 8, scale=scale).cycles
             row[isa] = FetchPressurePoint(
                 kernel=kernel,
                 isa=isa,
                 instructions=stats["instructions"],
                 ops_per_instruction=stats["ops_per_instruction"],
-                retention_1way=wide / narrow,
+                retention_1way=(cycles(kernel, isa, 8)
+                                / cycles(kernel, isa, 1)),
             )
         results[kernel] = row
         if not quiet:
@@ -79,9 +93,10 @@ def mom_fetch_advantage(results) -> dict[str, float]:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args()
     print("ops/instruction and 1-way retention of 8-way performance:\n")
-    results = run(scale=args.scale)
+    results = run(scale=args.scale, jobs=args.jobs)
     print("\nFetch economy: MMX instructions per MOM instruction "
           "(paper: 'an order of magnitude'):")
     for kernel, ratio in mom_fetch_advantage(results).items():

@@ -2,9 +2,10 @@
 
 Reproduces the eight panels of Figure 5 -- speed-up of each multimedia ISA
 with respect to the 1-way Alpha run, under the idealized 1-cycle memory of
-Section 4.1.  Run as a module::
+Section 4.1.  A thin formatter over the ``figure5`` preset of the unified
+experiment engine; run through the CLI (``repro figure5``) or as a module::
 
-    python -m repro.eval.figure5 [--scale N] [--kernel NAME]
+    python -m repro.eval.figure5 [--scale N] [--kernel NAME] [--jobs N]
 
 The paper's headline claims checked here: MMX/MDMX gain 1.5x-15x over
 scalar; MDMX edges MMX on reduction-heavy kernels; MOM adds 1.3x-4x on top
@@ -16,20 +17,35 @@ from __future__ import annotations
 
 import argparse
 
+from ..exp import PointSpec, default_session, preset
 from ..kernels import KERNEL_ORDER
-from .runner import format_grid, kernel_speedup_grid
+from .runner import format_grid, speedup_points
+
+ISAS = ("alpha", "mmx", "mdmx", "mom")
+WAYS = (1, 2, 4, 8)
 
 
-def run(scale: int = 1, kernels=KERNEL_ORDER, quiet: bool = False) -> dict:
-    """Compute the full Figure 5 grid; returns {kernel: [SpeedupPoint]}."""
-    results = {}
+def run(scale: int = 1, kernels=KERNEL_ORDER, quiet: bool = False,
+        session=None, jobs: int | None = None) -> dict:
+    """Compute the full Figure 5 grid; returns {kernel: [SpeedupPoint]}.
+
+    The whole grid (all kernels, all baselines) resolves into one engine
+    sweep, so ``jobs > 1`` parallelizes across every uncached point.
+    """
+    session = session or default_session()
+    sweep = preset("figure5").replace(targets=tuple(kernels), scale=scale)
+    results = session.run(sweep, jobs=jobs)
+    output = {}
     for kernel in kernels:
-        points = kernel_speedup_grid(kernel, scale=scale)
-        results[kernel] = points
+        baseline = results[PointSpec(kind="kernel", target=kernel,
+                                     isa="alpha", way=1, scale=scale)].cycles
+        points = speedup_points(kernel, results, ISAS, WAYS, baseline,
+                                scale=scale)
+        output[kernel] = points
         if not quiet:
             print(f"\n=== Figure 5: {kernel} (speed-up vs 1-way Alpha) ===")
             print(format_grid(points))
-    return results
+    return output
 
 
 def mom_vs_best_simd(results: dict) -> dict[str, float]:
@@ -48,9 +64,11 @@ def main() -> None:
                         help="workload scale factor (default 1)")
     parser.add_argument("--kernel", action="append",
                         help="restrict to specific kernels (repeatable)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel simulation processes")
     args = parser.parse_args()
     kernels = tuple(args.kernel) if args.kernel else KERNEL_ORDER
-    results = run(scale=args.scale, kernels=kernels)
+    results = run(scale=args.scale, kernels=kernels, jobs=args.jobs)
     print("\n=== MOM gain over best 1D SIMD ISA at 4-way ===")
     for kernel, ratio in mom_vs_best_simd(results).items():
         print(f"  {kernel:16s} {ratio:5.2f}x")

@@ -4,16 +4,16 @@ Reproduces the five panels of Figure 7: each application runs in five
 configurations -- Alpha and MMX on the conventional cache, MOM on the
 multi-address cache, the vector cache and the collapsing-buffer cache --
 at 4-way and 8-way issue, normalized to the 4-way Alpha/conventional run.
+A thin formatter over the ``figure7`` preset of the unified experiment
+engine; run through the CLI (``repro figure7``) or as a module::
+
+    python -m repro.eval.figure7 [--scale N] [--app NAME] [--jobs N]
 
 Paper claims checked here (Section 4.2.2): MMX gains 1.1x-3.1x over Alpha,
 MOM 1.5x-4.3x (about 20% over MMX on average); the multi-address cache wins
 at 4-way (working sets fit in L1), the vector/collapsing caches win at
 8-way (bandwidth), and mpeg2-encode is the exception where large strides
 defeat the line-pair organizations.
-
-Run as a module::
-
-    python -m repro.eval.figure7 [--scale N] [--app NAME]
 """
 
 from __future__ import annotations
@@ -21,30 +21,17 @@ from __future__ import annotations
 import argparse
 from dataclasses import dataclass
 
-from ..apps import APP_ORDER, APPS
-from ..cpu import Core, machine_config
-from ..memsys import (CollapsingBufferHierarchy, ConventionalHierarchy,
-                      MultiAddressHierarchy, VectorCacheHierarchy)
+from ..apps import APP_ORDER
+from ..exp import PointSpec, built_app, default_session, preset
+from ..exp.spec import FIGURE7_CONFIGS
 
-#: The five configurations of Figure 7: (label, app ISA, memory factory).
-CONFIGS = (
-    ("alpha-conv", "alpha", ConventionalHierarchy),
-    ("mmx-conv", "mmx", ConventionalHierarchy),
-    ("mom-multiaddress", "mom", MultiAddressHierarchy),
-    ("mom-vectorcache", "mom", VectorCacheHierarchy),
-    ("mom-collapsing", "mom", CollapsingBufferHierarchy),
-)
+#: The five configurations of Figure 7: (label, app ISA, memory model).
+CONFIGS = FIGURE7_CONFIGS
 
 WAYS = (4, 8)
 
-_APP_CACHE: dict[tuple[str, str, int], object] = {}
-
-
-def built_app(app: str, isa: str, scale: int = 1):
-    key = (app, isa, scale)
-    if key not in _APP_CACHE:
-        _APP_CACHE[key] = APPS[app].build(isa, scale)
-    return _APP_CACHE[key]
+__all__ = ["CONFIGS", "WAYS", "AppPoint", "built_app", "run_app", "run",
+           "summarize", "main"]
 
 
 @dataclass
@@ -58,32 +45,54 @@ class AppPoint:
     speedup: float
 
 
-def run_app(app: str, scale: int = 1, quiet: bool = False) -> list[AppPoint]:
+def _panel(app: str, results, scale: int) -> list[AppPoint]:
+    """Normalize one application's engine results into Figure 7 bars."""
+    def cycles(way: int, isa: str, memory: str) -> int:
+        key = PointSpec(kind="app", target=app, isa=isa, way=way,
+                        memory=memory, scale=scale)
+        return results[key].cycles
+
+    baseline = cycles(4, "alpha", "conventional")
+    return [
+        AppPoint(app=app, config=label, way=way,
+                 cycles=cycles(way, isa, memory),
+                 speedup=baseline / cycles(way, isa, memory))
+        for way in WAYS
+        for label, isa, memory in CONFIGS
+    ]
+
+
+def run_app(app: str, scale: int = 1, quiet: bool = False,
+            session=None, jobs: int | None = None) -> list[AppPoint]:
     """All ten bars for one application panel."""
-    points: list[AppPoint] = []
-    baseline = None
-    for way in WAYS:
-        for label, isa, mem_factory in CONFIGS:
-            built = built_app(app, isa, scale)
-            cfg = machine_config(way, isa)
-            result = Core(cfg, mem_factory(way)).run(built.trace)
-            if baseline is None:        # 4-way alpha-conventional
-                baseline = result.cycles
-            points.append(AppPoint(
-                app=app, config=label, way=way, cycles=result.cycles,
-                speedup=baseline / result.cycles,
-            ))
+    session = session or default_session()
+    sweep = preset("figure7").replace(targets=(app,), scale=scale)
+    points = _panel(app, session.run(sweep, jobs=jobs), scale)
     if not quiet:
-        print(f"\n=== Figure 7: {app} (speed-up vs 4-way Alpha) ===")
-        for way in WAYS:
-            row = [p for p in points if p.way == way]
-            cells = "  ".join(f"{p.config}={p.speedup:5.2f}x" for p in row)
-            print(f"{way}-way: {cells}")
+        _print_panel(app, points)
     return points
 
 
-def run(scale: int = 1, apps=APP_ORDER, quiet: bool = False) -> dict:
-    return {app: run_app(app, scale=scale, quiet=quiet) for app in apps}
+def _print_panel(app: str, points: list[AppPoint]) -> None:
+    print(f"\n=== Figure 7: {app} (speed-up vs 4-way Alpha) ===")
+    for way in WAYS:
+        row = [p for p in points if p.way == way]
+        cells = "  ".join(f"{p.config}={p.speedup:5.2f}x" for p in row)
+        print(f"{way}-way: {cells}")
+
+
+def run(scale: int = 1, apps=APP_ORDER, quiet: bool = False,
+        session=None, jobs: int | None = None) -> dict:
+    """All panels through one engine sweep (parallel across every point)."""
+    session = session or default_session()
+    sweep = preset("figure7").replace(targets=tuple(apps), scale=scale)
+    results = session.run(sweep, jobs=jobs)
+    output = {}
+    for app in apps:
+        output[app] = _panel(app, results, scale)
+        if not quiet:
+            _print_panel(app, output[app])
+    return output
 
 
 def summarize(results: dict) -> dict[str, float]:
@@ -101,9 +110,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=int, default=1)
     parser.add_argument("--app", action="append")
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args()
     apps = tuple(args.app) if args.app else APP_ORDER
-    results = run(scale=args.scale, apps=apps)
+    results = run(scale=args.scale, apps=apps, jobs=args.jobs)
     print("\n=== MOM (best cache) gain over MMX at 4-way "
           "(paper: ~20% average) ===")
     for app, ratio in summarize(results).items():

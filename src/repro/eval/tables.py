@@ -77,26 +77,43 @@ def table3_rows() -> dict:
     return out
 
 
-def main() -> None:
-    print("=== Table 1: processor configurations ===")
+def render_table1() -> str:
+    lines = ["=== Table 1: processor configurations ==="]
     header = None
     for row in table1_rows():
         if header is None:
             header = list(row)
-            print("  ".join(f"{h:>9s}" for h in header))
-        print("  ".join(f"{str(row[h]):>9s}" for h in header))
+            lines.append("  ".join(f"{h:>9s}" for h in header))
+        lines.append("  ".join(f"{str(row[h]):>9s}" for h in header))
+    return "\n".join(lines)
 
-    print("\n=== Table 2: multimedia register files (4-way machine) ===")
-    print(f"{'':8s}{'media':>10s}{'acc':>8s}{'size KB':>9s}{'area':>7s}")
+
+def render_table2() -> str:
+    lines = ["=== Table 2: multimedia register files (4-way machine) ===",
+             f"{'':8s}{'media':>10s}{'acc':>8s}{'size KB':>9s}{'area':>7s}"]
     for isa, row in table2_rows().items():
-        print(f"{isa:8s}{row['media_regs']:>10s}{row['acc_regs']:>8s}"
-              f"{row['size_kb']:>9.2f}{row['norm_area']:>7.2f}")
-    print("(paper: sizes 0.5 / 0.78 / 2.6 KB; areas 1.00 / 1.19 / 0.87)")
+        lines.append(f"{isa:8s}{row['media_regs']:>10s}{row['acc_regs']:>8s}"
+                     f"{row['size_kb']:>9.2f}{row['norm_area']:>7.2f}")
+    lines.append("(paper: sizes 0.5 / 0.78 / 2.6 KB; "
+                 "areas 1.00 / 1.19 / 0.87)")
+    return "\n".join(lines)
 
-    print("\n=== Table 3: cache port configurations ===")
+
+def render_table3() -> str:
+    lines = ["=== Table 3: cache port configurations ==="]
     for way, cols in table3_rows().items():
-        print(f"{way}-way  Conv/MA: {cols['conv_ma']}")
-        print(f"{'':7s}VC/COL : {cols['vc_col']}")
+        lines.append(f"{way}-way  Conv/MA: {cols['conv_ma']}")
+        lines.append(f"{'':7s}VC/COL : {cols['vc_col']}")
+    return "\n".join(lines)
+
+
+def render_all() -> str:
+    """All three configuration tables, as printed by ``repro tables``."""
+    return "\n\n".join((render_table1(), render_table2(), render_table3()))
+
+
+def main() -> None:
+    print(render_all())
 
 
 if __name__ == "__main__":

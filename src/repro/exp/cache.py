@@ -1,0 +1,91 @@
+"""Persistent on-disk cache of simulation results.
+
+One JSON file per cached point, named by the point's content hash (which
+already mixes in the code-version salt, see
+:meth:`repro.exp.spec.PointSpec.content_hash`).  Writes are atomic
+(temp file + rename) so parallel workers and concurrent sessions never
+observe torn entries; readers treat any undecodable file as a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+#: Bump when the entry layout changes; old entries become misses.
+ENTRY_VERSION = 1
+
+
+class ResultCache:
+    """Directory-backed map from cache key to a JSON-safe record."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Load one entry, or ``None`` on a miss / corrupt file."""
+        try:
+            with open(self._path(key), encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):      # ValueError covers bad JSON/UTF-8
+            return None
+        if not isinstance(entry, dict) or entry.get("version") != ENTRY_VERSION:
+            return None
+        return entry
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically store one entry."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = dict(record, version=ENTRY_VERSION)
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def entries(self) -> list[Path]:
+        """All entry files currently on disk."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.json"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps ``*.tmp`` orphans left by writers killed between
+        ``mkstemp`` and the rename (those never count as entries).
+        """
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if self.directory.is_dir():
+            for orphan in self.directory.glob("*.tmp"):
+                try:
+                    orphan.unlink()
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,273 @@
+"""The ``repro`` console command: reproduce any figure/table of the paper.
+
+Examples::
+
+    repro figure5                      # all eight kernel panels
+    repro figure5 --kernel idct --jobs 4
+    repro figure7 --app jpeg_encode
+    repro tables
+    repro latency --way 4
+    repro fetch-pressure
+    repro sweep figure5 --jobs 8       # raw grid, parallel
+    repro sweep --kernels idct,motion2 --isas mom --ways 1,2,4,8
+    repro cache                        # show cache location / size
+    repro cache --clear
+
+Every simulation funnels through one :class:`~repro.exp.engine.Session`,
+so a warm-cache rerun of any command skips simulation entirely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import Session
+from .spec import PRESETS, SweepSpec, preset
+
+
+def _csv(text: str) -> tuple[str, ...]:
+    return tuple(part.strip() for part in text.split(",") if part.strip())
+
+
+def _csv_int(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in _csv(text))
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="parallel simulation processes (default 1)")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="workload scale factor (default 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="override the result-cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent result cache")
+
+
+def _session(args: argparse.Namespace) -> Session:
+    return Session(args.cache_dir, jobs=args.jobs,
+                   use_cache=not args.no_cache)
+
+
+def _cmd_figure5(args) -> int:
+    from ..eval import figure5
+
+    kernels = args.kernel or None
+    results = figure5.run(scale=args.scale, session=_session(args),
+                          **({"kernels": tuple(kernels)} if kernels else {}))
+    print("\n=== MOM gain over best 1D SIMD ISA at 4-way ===")
+    for kernel, ratio in figure5.mom_vs_best_simd(results).items():
+        print(f"  {kernel:16s} {ratio:5.2f}x")
+    return 0
+
+
+def _cmd_figure7(args) -> int:
+    from ..eval import figure7
+
+    apps = args.app or None
+    results = figure7.run(scale=args.scale, session=_session(args),
+                          **({"apps": tuple(apps)} if apps else {}))
+    print("\n=== MOM (best cache) gain over MMX at 4-way "
+          "(paper: ~20% average) ===")
+    for app, ratio in figure7.summarize(results).items():
+        print(f"  {app:16s} {ratio:5.2f}x")
+    return 0
+
+
+def _cmd_latency(args) -> int:
+    from ..eval import latency
+
+    print(f"Slow-down going from 1-cycle to {latency.HIGH_LATENCY}-cycle "
+          f"memory ({args.way}-way machine):\n")
+    results = latency.run(scale=args.scale, way=args.way,
+                          session=_session(args))
+    print("\nRange per ISA (paper: Alpha 3-9x, MMX/MDMX 4-8x, MOM 2-4x):")
+    for isa, (lo, hi) in latency.summarize(results).items():
+        print(f"  {isa:6s} {lo:.1f}x .. {hi:.1f}x")
+    return 0
+
+
+def _cmd_fetch_pressure(args) -> int:
+    from ..eval import fetch_pressure
+
+    print("ops/instruction and 1-way retention of 8-way performance:\n")
+    results = fetch_pressure.run(scale=args.scale, session=_session(args))
+    print("\nFetch economy: MMX instructions per MOM instruction "
+          "(paper: 'an order of magnitude'):")
+    for kernel, ratio in fetch_pressure.mom_fetch_advantage(results).items():
+        print(f"  {kernel:16s} {ratio:5.1f}x")
+    return 0
+
+
+def _cmd_tables(args) -> int:
+    from ..eval import tables
+
+    print(tables.render_all())
+    return 0
+
+
+def _sweep_from_args(args) -> SweepSpec:
+    if args.preset:
+        sweep = preset(args.preset)
+    elif args.apps:
+        sweep = SweepSpec(name="custom", kind="app", targets=(),
+                          isas=("alpha", "mmx", "mom"))
+    else:
+        sweep = SweepSpec(name="custom", kind="kernel", targets=(),
+                          isas=("alpha", "mmx", "mdmx", "mom"),
+                          ways=(1, 2, 4, 8))
+    overrides: dict = {"scale": args.scale}
+    if args.kernels:
+        overrides.update(kind="kernel", targets=args.kernels, pairs=())
+    if args.apps:
+        overrides.update(kind="app", targets=args.apps, pairs=())
+    if args.isas:
+        overrides.update(isas=args.isas, pairs=())
+    if args.ways:
+        overrides["ways"] = args.ways
+    if args.latencies:
+        overrides["latencies"] = args.latencies
+    if args.memory:
+        overrides.update(memories=args.memory, pairs=())
+    sweep = sweep.replace(**overrides)
+    from ..apps import APP_ORDER, APPS
+    from ..kernels import KERNEL_ORDER, KERNELS
+    if not sweep.targets:
+        sweep = sweep.replace(targets=(KERNEL_ORDER if sweep.kind == "kernel"
+                                       else APP_ORDER))
+    if not sweep.pairs and not sweep.isas:
+        # An override cleared a preset's explicit (isa, memory) pairs
+        # (e.g. `repro sweep figure7 --memory conventional`): fall back
+        # to the full ISA axis so the product is never silently empty.
+        sweep = sweep.replace(isas=(("alpha", "mmx", "mdmx", "mom")
+                                    if sweep.kind == "kernel"
+                                    else ("alpha", "mmx", "mom")))
+    registry = KERNELS if sweep.kind == "kernel" else APPS
+    unknown = [t for t in sweep.targets if t not in registry]
+    if unknown:
+        raise ValueError(f"unknown {sweep.kind}(s) {unknown}; "
+                         f"available: {sorted(registry)}")
+    if not sweep.points():
+        raise ValueError("sweep resolves to 0 points; check the "
+                         "--kernels/--apps/--isas/--ways/--memory values")
+    return sweep
+
+
+def _cmd_sweep(args) -> int:
+    session = _session(args)
+    sweep = _sweep_from_args(args)
+    points = sweep.points()
+    print(f"sweep {sweep.name}: {len(points)} points, jobs={args.jobs}")
+    results = session.run(points, jobs=args.jobs)
+
+    # Per-target baseline for the speedup column: alpha at the narrowest
+    # way/latency present in the sweep, falling back to whatever is there.
+    baselines: dict[str, tuple[tuple, int]] = {}
+    for point in points:
+        rank = (point.isa != "alpha", point.way, point.latency)
+        if (point.target not in baselines
+                or rank < baselines[point.target][0]):
+            baselines[point.target] = (rank, results[point].cycles)
+
+    header = (f"{'target':16s} {'isa':6s} {'way':>3s} {'lat':>4s} "
+              f"{'memory':12s} {'cycles':>10s} {'speedup':>8s}")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        res = results[point]
+        speedup = baselines[point.target][1] / res.cycles
+        print(f"{point.target:16s} {point.isa:6s} {point.way:>3d} "
+              f"{point.latency:>4d} {point.memory:12s} {res.cycles:>10d} "
+              f"{speedup:7.2f}x")
+    print(f"\ncache: {session.hits} hits, {session.misses} misses")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    session = Session(args.cache_dir)
+    cache = session.cache
+    if cache is None:
+        print("persistent cache disabled (REPRO_NO_CACHE=1)")
+        return 0
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} cached results from {cache.directory}")
+        return 0
+    print(f"cache directory: {cache.directory}")
+    print(f"entries:         {len(cache)}")
+    print(f"size:            {cache.size_bytes() / 1024:.1f} KiB")
+    print(f"code salt:       {session.salt}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce figures and tables of the MOM paper "
+                    "(MICRO 1999) through the unified experiment engine.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figure5", help="kernel speedups across issue widths")
+    p.add_argument("--kernel", action="append",
+                   help="restrict to specific kernels (repeatable)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_figure5)
+
+    p = sub.add_parser("figure7", help="full-app speedups on real caches")
+    p.add_argument("--app", action="append",
+                   help="restrict to specific applications (repeatable)")
+    _add_common(p)
+    p.set_defaults(func=_cmd_figure7)
+
+    p = sub.add_parser("tables", help="print Tables 1-3 (configurations)")
+    p.set_defaults(func=_cmd_tables)
+
+    p = sub.add_parser("latency", help="memory-latency tolerance study")
+    p.add_argument("--way", type=int, default=4, choices=(1, 2, 4, 8))
+    _add_common(p)
+    p.set_defaults(func=_cmd_latency)
+
+    p = sub.add_parser("fetch-pressure", help="ops/instruction study")
+    _add_common(p)
+    p.set_defaults(func=_cmd_fetch_pressure)
+
+    p = sub.add_parser("sweep", help="run a preset or custom sweep")
+    p.add_argument("preset", nargs="?", default=None,
+                   help="named preset (figure5, figure7, latency, "
+                        "fetch-pressure, table1)")
+    p.add_argument("--kernels", type=_csv, default=(),
+                   help="comma-separated kernel names")
+    p.add_argument("--apps", type=_csv, default=(),
+                   help="comma-separated application names")
+    p.add_argument("--isas", type=_csv, default=(),
+                   help="comma-separated ISAs (alpha,mmx,mdmx,mom)")
+    p.add_argument("--ways", type=_csv_int, default=(),
+                   help="comma-separated issue widths (1,2,4,8)")
+    p.add_argument("--latencies", type=_csv_int, default=(),
+                   help="comma-separated perfect-memory latencies")
+    p.add_argument("--memory", type=_csv, default=(),
+                   help="comma-separated memory models")
+    _add_common(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p.add_argument("--clear", action="store_true", help="delete all entries")
+    p.add_argument("--cache-dir", default=None)
+    p.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""The experiment engine: build memo, point execution, parallel sessions.
+
+:class:`Session` is the one way experiments run.  It resolves a
+:class:`~repro.exp.spec.SweepSpec` (or any iterable of points) into
+:class:`~repro.exp.spec.PointSpec`\\ s, returns cached
+:class:`~repro.cpu.core.SimResult`\\ s where available, and executes the
+misses -- in process when ``jobs == 1`` (bit-identical to the historical
+sequential drivers), or on a :class:`~concurrent.futures.ProcessPoolExecutor`
+when ``jobs > 1``.  Simulation is deterministic, so the two paths produce
+identical results; only wall-clock differs.
+
+Build products (verified traces) are memoized per process in
+:data:`_BUILD_MEMO`, which subsumes the old ``eval.runner._BUILD_CACHE`` and
+``eval.figure7._APP_CACHE``; cycle-level results persist across processes in
+the on-disk :class:`~repro.exp.cache.ResultCache`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+from ..cpu import Core, SimResult, machine_config
+from ..emulib.fingerprint import source_fingerprint
+from .cache import ResultCache
+from .spec import PointSpec, SweepSpec
+
+#: Per-process memo of verified builds, keyed by (kind, target, isa, scale).
+_BUILD_MEMO: dict[tuple[str, str, str, int], object] = {}
+
+
+def built_kernel(kernel: str, isa: str, scale: int = 1):
+    """Build (and verify against the golden reference) one kernel, memoized."""
+    from ..kernels import KERNELS, build_and_check
+
+    key = ("kernel", kernel, isa, scale)
+    if key not in _BUILD_MEMO:
+        spec = KERNELS[kernel]
+        workload = spec.make_workload(scale)
+        _BUILD_MEMO[key] = build_and_check(spec, isa, workload)
+    return _BUILD_MEMO[key]
+
+
+def built_app(app: str, isa: str, scale: int = 1):
+    """Build (and verify) one full application, memoized."""
+    from ..apps import APPS
+
+    key = ("app", app, isa, scale)
+    if key not in _BUILD_MEMO:
+        _BUILD_MEMO[key] = APPS[app].build(isa, scale)
+    return _BUILD_MEMO[key]
+
+
+def make_memsys(point: PointSpec):
+    """Instantiate the memory model a point asks for."""
+    from ..memsys import (CollapsingBufferHierarchy, ConventionalHierarchy,
+                          MultiAddressHierarchy, PerfectMemory,
+                          VectorCacheHierarchy)
+
+    if point.memory == "perfect":
+        cfg = machine_config(point.way, point.isa)
+        return PerfectMemory(point.latency, cfg.mem_ports, cfg.mem_port_width)
+    factory = {
+        "conventional": ConventionalHierarchy,
+        "multiaddress": MultiAddressHierarchy,
+        "vectorcache": VectorCacheHierarchy,
+        "collapsing": CollapsingBufferHierarchy,
+    }[point.memory]
+    return factory(point.way)
+
+
+def execute_point(point: PointSpec) -> SimResult:
+    """Build, verify and simulate one point (no caching)."""
+    build = built_kernel if point.kind == "kernel" else built_app
+    built = build(point.target, point.isa, point.scale)
+    cfg = machine_config(point.way, point.isa)
+    return Core(cfg, make_memsys(point)).run(built.trace)
+
+
+def _worker(payload: dict) -> dict:
+    """Process-pool entry: execute one point from its plain-data payload."""
+    result = execute_point(PointSpec.from_payload(payload))
+    return result.to_dict()
+
+
+def _default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    # repo-root/.repro-cache when running from a source checkout
+    # (src/repro/exp/engine.py -> parents[3] == repo root).  When the
+    # package is installed, parents[3] is some lib/ directory instead;
+    # fall back to the user cache rather than writing next to it.
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "pyproject.toml").is_file():
+        return candidate / ".repro-cache"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-mom"
+
+
+class Session:
+    """Runs experiment points with persistent memoization.
+
+    Args:
+        cache_dir: directory for the on-disk result cache; defaults to
+            ``$REPRO_CACHE_DIR`` or ``.repro-cache`` at the repo root.
+        jobs: default parallelism for :meth:`run` (overridable per call).
+            ``1`` executes in process -- no pool, bit-identical to the
+            historical sequential drivers.
+        salt: cache-key salt; defaults to the package source fingerprint,
+            so editing any model file invalidates stale entries.
+        use_cache: disable the persistent layer entirely (an in-memory
+            memo still serves repeats within this session).  Also
+            disabled by ``REPRO_NO_CACHE=1``.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None, *,
+                 jobs: int = 1, salt: str | None = None,
+                 use_cache: bool = True) -> None:
+        if os.environ.get("REPRO_NO_CACHE") == "1":
+            use_cache = False
+        self.cache = (ResultCache(cache_dir or _default_cache_dir())
+                      if use_cache else None)
+        self.salt = source_fingerprint() if salt is None else salt
+        self.jobs = jobs
+        self.hits = 0
+        self.misses = 0
+        self._memo: dict[str, SimResult] = {}
+
+    # --- cache plumbing ---------------------------------------------------
+
+    def key_for(self, point: PointSpec) -> str:
+        return point.content_hash(self.salt)
+
+    def lookup(self, point: PointSpec) -> SimResult | None:
+        """Cached result for a point, or ``None`` (does not execute)."""
+        key = self.key_for(point)
+        if key in self._memo:
+            return self._memo[key]
+        if self.cache is None:
+            return None
+        entry = self.cache.get(key)
+        if entry is None:
+            return None
+        result = SimResult.from_dict(entry["result"])
+        self._memo[key] = result
+        return result
+
+    def _store(self, point: PointSpec, result: SimResult) -> None:
+        key = self.key_for(point)
+        self._memo[key] = result
+        if self.cache is not None:
+            self.cache.put(key, {
+                "spec": point.payload(),
+                "salt": self.salt,
+                "result": result.to_dict(),
+            })
+
+    # --- execution --------------------------------------------------------
+
+    def run_point(self, point: PointSpec) -> SimResult:
+        """One point through the cache; executes in process on a miss."""
+        cached = self.lookup(point)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = execute_point(point)
+        self._store(point, result)
+        return result
+
+    def resolve(self, sweep) -> tuple[PointSpec, ...]:
+        """A sweep (or iterable of points) as a concrete point tuple."""
+        if isinstance(sweep, SweepSpec):
+            return sweep.points()
+        if isinstance(sweep, PointSpec):
+            return (sweep,)
+        return tuple(sweep)
+
+    def run(self, sweep, jobs: int | None = None
+            ) -> dict[PointSpec, SimResult]:
+        """Run a sweep; returns ``{point: result}`` in sweep order.
+
+        Cache misses execute in process when the effective ``jobs`` is 1,
+        else on a process pool ``jobs`` wide.  Results are identical
+        either way; they are stored back to the persistent cache so a
+        warm rerun performs no simulation at all.
+        """
+        points = self.resolve(sweep)
+        jobs = self.jobs if jobs is None else jobs
+        results: dict[PointSpec, SimResult] = {}
+        missing: list[PointSpec] = []
+        for point in points:
+            if point in results or point in missing:
+                continue
+            cached = self.lookup(point)
+            if cached is not None:
+                self.hits += 1
+                results[point] = cached
+            else:
+                missing.append(point)
+
+        if missing and jobs > 1:
+            self.misses += len(missing)
+            # Contiguous chunks keep the points of one target in the same
+            # worker, so its per-process build memo is reused instead of
+            # every worker rebuilding every kernel.
+            chunk = max(1, -(-len(missing) // jobs))
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                payloads = [p.payload() for p in missing]
+                for point, data in zip(missing,
+                                       pool.map(_worker, payloads,
+                                                chunksize=chunk)):
+                    result = SimResult.from_dict(data)
+                    self._store(point, result)
+                    results[point] = result
+        else:
+            for point in missing:
+                results[point] = self.run_point(point)
+
+        return {point: results[point] for point in points}
+
+
+_DEFAULT_SESSION: Session | None = None
+
+
+def default_session() -> Session:
+    """The process-wide session shared by drivers, benchmarks and examples."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION

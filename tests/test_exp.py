@@ -1,0 +1,290 @@
+"""Tests for the unified experiment engine (specs, cache, sessions, CLI)."""
+
+import json
+
+import pytest
+
+from repro.cpu import SimResult
+from repro.emulib.fingerprint import source_fingerprint, trace_digest
+from repro.exp import PointSpec, ResultCache, Session, SweepSpec, preset
+from repro.exp.engine import built_kernel, execute_point
+from repro.exp.spec import PRESETS
+
+
+KERNEL_POINT = dict(kind="kernel", target="addblock", isa="mom", way=4)
+
+
+# --- PointSpec ----------------------------------------------------------------
+
+def test_pointspec_is_frozen_and_hashable():
+    a = PointSpec(**KERNEL_POINT)
+    b = PointSpec(**KERNEL_POINT)
+    assert a == b and hash(a) == hash(b)
+    assert len({a, b}) == 1
+    with pytest.raises(AttributeError):
+        a.way = 8
+
+
+def test_pointspec_content_hash_stability():
+    """The cache key is derived from canonical JSON, not ``hash()``, so it
+    must be identical across equal instances and payload round-trips."""
+    a = PointSpec(**KERNEL_POINT)
+    b = PointSpec.from_payload(json.loads(json.dumps(a.payload())))
+    assert a.content_hash() == b.content_hash()
+    assert a.content_hash("s1") == b.content_hash("s1")
+    assert a.content_hash("s1") != a.content_hash("s2")
+    changed = PointSpec(**{**KERNEL_POINT, "way": 8})
+    assert changed.content_hash() != a.content_hash()
+
+
+def test_pointspec_validation():
+    with pytest.raises(ValueError):
+        PointSpec(kind="nope", target="addblock", isa="mom", way=4)
+    with pytest.raises(ValueError):
+        PointSpec(**{**KERNEL_POINT, "way": 3})
+    with pytest.raises(ValueError):
+        PointSpec(**{**KERNEL_POINT, "memory": "imaginary"})
+    with pytest.raises(ValueError):
+        PointSpec(**{**KERNEL_POINT, "latency": 0})
+
+
+# --- SweepSpec and presets -----------------------------------------------------
+
+def test_sweep_cartesian_product():
+    sweep = SweepSpec(name="t", kind="kernel", targets=("addblock", "idct"),
+                      isas=("alpha", "mom"), ways=(1, 4), latencies=(1, 50))
+    points = sweep.points()
+    assert len(points) == 2 * 2 * 2 * 2
+    assert len(set(points)) == len(points)
+    assert all(p.kind == "kernel" for p in points)
+
+
+def test_sweep_pairs_override_product():
+    sweep = SweepSpec(name="t", kind="app", targets=("jpeg_encode",),
+                      ways=(4,), pairs=(("alpha", "conventional"),
+                                        ("mom", "vectorcache")))
+    points = sweep.points()
+    assert [(p.isa, p.memory) for p in points] == [
+        ("alpha", "conventional"), ("mom", "vectorcache")]
+
+
+def test_presets_cover_the_paper():
+    assert {"figure5", "figure7", "latency", "fetch-pressure",
+            "table1"} <= set(PRESETS)
+    fig5 = preset("figure5")
+    assert len(fig5.points()) == 8 * 4 * 4          # kernels x isas x ways
+    fig7 = preset("figure7")
+    assert len(fig7.points()) == 5 * 2 * 5          # apps x ways x configs
+    assert all(p.kind == "app" for p in fig7.points())
+    with pytest.raises(KeyError):
+        preset("figure99")
+
+
+def test_preset_replace_narrows_targets():
+    sweep = preset("figure5").replace(targets=("idct",))
+    assert len(sweep.points()) == 4 * 4
+    assert {p.target for p in sweep.points()} == {"idct"}
+
+
+# --- SimResult serialization ----------------------------------------------------
+
+def test_simresult_roundtrip():
+    result = execute_point(PointSpec(**KERNEL_POINT))
+    clone = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert clone == result
+    assert clone.ipc == result.ipc
+
+
+# --- ResultCache ----------------------------------------------------------------
+
+def test_result_cache_put_get_clear(tmp_path):
+    cache = ResultCache(tmp_path / "c")
+    assert cache.get("k") is None
+    cache.put("k", {"result": {"cycles": 1}})
+    assert "k" in cache
+    assert cache.get("k")["result"] == {"cycles": 1}
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert cache.get("k") is None
+
+
+def test_result_cache_ignores_corrupt_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k", {"result": {}})
+    (tmp_path / "k.json").write_text("{not json")
+    assert cache.get("k") is None
+    (tmp_path / "k.json").write_text("[1, 2]")         # valid JSON, not a dict
+    assert cache.get("k") is None
+    (tmp_path / "k.json").write_bytes(b"\xff\xfe\x00") # not UTF-8
+    assert cache.get("k") is None
+
+
+def test_result_cache_clear_sweeps_tmp_orphans(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put("k", {"result": {}})
+    (tmp_path / "orphan123.tmp").write_text("partial write")
+    assert cache.clear() == 1
+    assert not list(tmp_path.iterdir())
+
+
+# --- Session: hit/miss accounting and invalidation ------------------------------
+
+def test_session_cache_hit_and_miss(tmp_path):
+    point = PointSpec(**KERNEL_POINT)
+    s1 = Session(tmp_path, salt="s1")
+    first = s1.run_point(point)
+    assert (s1.hits, s1.misses) == (0, 1)
+    second = s1.run_point(point)
+    assert (s1.hits, s1.misses) == (1, 1)
+    assert first == second
+
+    # A fresh session over the same directory hits the *persistent* layer.
+    s2 = Session(tmp_path, salt="s1")
+    assert s2.run_point(point) == first
+    assert (s2.hits, s2.misses) == (1, 0)
+
+
+def test_session_salt_change_invalidates(tmp_path):
+    point = PointSpec(**KERNEL_POINT)
+    Session(tmp_path, salt="s1").run_point(point)
+    bumped = Session(tmp_path, salt="s2")
+    bumped.run_point(point)
+    assert bumped.misses == 1, "a salt change must invalidate old entries"
+
+
+def test_session_use_cache_false_still_memoizes(tmp_path):
+    point = PointSpec(**KERNEL_POINT)
+    session = Session(tmp_path, salt="x", use_cache=False)
+    session.run_point(point)
+    session.run_point(point)
+    assert session.cache is None
+    assert (session.hits, session.misses) == (1, 1)
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_default_salt_is_source_fingerprint():
+    assert Session(use_cache=False).salt == source_fingerprint()
+    assert len(source_fingerprint()) == 16
+
+
+# --- Session: parallel execution parity ------------------------------------------
+
+SMALL_SWEEP = SweepSpec(name="parity", kind="kernel", targets=("addblock",),
+                        isas=("alpha", "mom"), ways=(1, 4))
+
+
+def test_jobs_parallel_matches_sequential(tmp_path):
+    seq = Session(tmp_path / "a", salt="x").run(SMALL_SWEEP, jobs=1)
+    par = Session(tmp_path / "b", salt="x").run(SMALL_SWEEP, jobs=2)
+    assert list(seq) == list(par)
+    for point in seq:
+        assert seq[point] == par[point], point
+
+
+def test_parallel_results_are_cached(tmp_path):
+    session = Session(tmp_path, salt="x")
+    session.run(SMALL_SWEEP, jobs=2)
+    warm = Session(tmp_path, salt="x")
+    warm.run(SMALL_SWEEP, jobs=1)
+    assert warm.misses == 0
+    assert warm.hits == len(SMALL_SWEEP.points())
+
+
+def test_run_accepts_point_iterables(tmp_path):
+    point = PointSpec(**KERNEL_POINT)
+    session = Session(tmp_path, salt="x")
+    results = session.run([point, point])
+    assert list(results) == [point]
+    assert results[point].cycles > 0
+
+
+# --- build memo and stable build hashing ------------------------------------------
+
+def test_built_kernel_memoized_and_stable():
+    a = built_kernel("addblock", "mom", 1)
+    b = built_kernel("addblock", "mom", 1)
+    assert a is b
+    assert trace_digest(a.trace) == trace_digest(b.trace)
+
+
+def test_trace_digest_distinguishes_isas():
+    alpha = built_kernel("addblock", "alpha", 1)
+    mom = built_kernel("addblock", "mom", 1)
+    assert trace_digest(alpha.trace) != trace_digest(mom.trace)
+
+
+# --- CLI -------------------------------------------------------------------------
+
+def test_cli_sweep_runs_and_reports_cache(tmp_path, capsys):
+    from repro.exp.cli import main
+
+    argv = ["sweep", "--kernels", "addblock", "--isas", "alpha,mom",
+            "--ways", "1,4", "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    cold = capsys.readouterr().out
+    assert "addblock" in cold and "4 points" in cold
+    assert "4 misses" in cold
+
+    assert main(argv) == 0
+    warm = capsys.readouterr().out
+    assert "4 hits, 0 misses" in warm
+
+    def cells(text):
+        return [line.split() for line in text.splitlines()
+                if line.startswith("addblock")]
+    assert cells(cold) == cells(warm)
+
+
+def test_cli_rejects_unknown_inputs(tmp_path, capsys):
+    from repro.exp.cli import main
+
+    base = ["--cache-dir", str(tmp_path)]
+    assert main(["sweep", "nosuchpreset"] + base) == 2
+    assert "unknown preset" in capsys.readouterr().err
+    assert main(["sweep", "--kernels", "nosuchkernel"] + base) == 2
+    assert "unknown kernel" in capsys.readouterr().err
+    assert main(["sweep", "--kernels", "addblock", "--ways", "3"] + base) == 2
+    assert "way 3" in capsys.readouterr().err
+
+
+def test_cli_memory_override_of_pair_preset_is_not_empty(tmp_path):
+    """`repro sweep figure7 --memory X` must fall back to the ISA axis
+    rather than resolving to a silent 0-point sweep."""
+    from repro.exp.cli import _sweep_from_args, build_parser
+
+    args = build_parser().parse_args(
+        ["sweep", "figure7", "--memory", "conventional",
+         "--apps", "jpeg_encode", "--cache-dir", str(tmp_path)])
+    sweep = _sweep_from_args(args)
+    points = sweep.points()
+    assert points, "override must not produce an empty sweep"
+    assert {p.isa for p in points} == {"alpha", "mmx", "mom"}
+    assert {p.memory for p in points} == {"conventional"}
+
+
+def test_presets_is_a_plain_dict():
+    assert isinstance(PRESETS, dict)
+    assert PRESETS.get("figure5") is not None        # .get must see entries
+    assert len(PRESETS.values()) == len(PRESETS)
+
+
+def test_cli_cache_inspect_and_clear(tmp_path, capsys):
+    from repro.exp.cli import main
+
+    main(["sweep", "--kernels", "addblock", "--isas", "alpha",
+          "--ways", "1", "--cache-dir", str(tmp_path)])
+    capsys.readouterr()
+    assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:         1" in out
+    assert main(["cache", "--cache-dir", str(tmp_path), "--clear"]) == 0
+    assert "cleared 1" in capsys.readouterr().out
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_cli_tables(capsys):
+    from repro.exp.cli import main
+
+    assert main(["tables"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "Table 2" in out and "Table 3" in out

@@ -331,3 +331,87 @@ def test_saturate_unsigned_range():
     vals = np.asarray([-5, 0, 255, 300], dtype=np.int64)
     out = packed.saturate(vals, ElemType.B, signed=False)
     assert list(out) == [0, 0, 255, 255]
+
+
+# --- ElemType.Q saturation bounds -----------------------------------------------------------------------
+#
+# Q lanes are full 64-bit words: int64 intermediates would wrap before
+# saturation could see the overflow, so these operations widen through
+# Python-int (object) arithmetic.  Pin the exact bound behaviour.
+
+U64_MAX = (1 << 64) - 1
+I64_MAX = (1 << 63) - 1
+I64_MIN = -(1 << 63)
+
+
+def u64(value: int) -> int:
+    """Two's-complement image of a (possibly negative) 64-bit value."""
+    return value & U64_MAX
+
+
+def test_q_add_sat_unsigned_saturates_at_u64_max():
+    assert int(packed.add_sat(U64_MAX, 1, ElemType.Q, signed=False)) == U64_MAX
+    assert int(packed.add_sat(1 << 63, 1 << 63, ElemType.Q,
+                              signed=False)) == U64_MAX
+
+
+def test_q_add_sat_signed_saturates_at_both_bounds():
+    assert int(packed.add_sat(u64(I64_MAX), 1, ElemType.Q,
+                              signed=True)) == u64(I64_MAX)
+    assert int(packed.add_sat(u64(I64_MIN), u64(-1), ElemType.Q,
+                              signed=True)) == u64(I64_MIN)
+
+
+def test_q_sub_sat_bounds():
+    assert int(packed.sub_sat(0, 1, ElemType.Q, signed=False)) == 0
+    assert int(packed.sub_sat(u64(I64_MIN), 1, ElemType.Q,
+                              signed=True)) == u64(I64_MIN)
+    assert int(packed.sub_sat(u64(I64_MAX), u64(-1), ElemType.Q,
+                              signed=True)) == u64(I64_MAX)
+
+
+def test_q_wrap_is_modular_at_bounds():
+    assert int(packed.add_wrap(U64_MAX, 1, ElemType.Q)) == 0
+    assert int(packed.sub_wrap(0, 1, ElemType.Q)) == U64_MAX
+
+
+def test_q_mul_full_precision():
+    assert int(packed.mul_low(u64(-3), 5, ElemType.Q)) == u64(-15)
+    # High half of (-1) * 1 is -1: all ones after repacking.
+    assert int(packed.mul_high(u64(-1), 1, ElemType.Q,
+                               signed=True)) == U64_MAX
+    # 2^62 * 4 = 2^64: low half 0, signed high half 1.
+    assert int(packed.mul_low(1 << 62, 4, ElemType.Q)) == 0
+    assert int(packed.mul_high(1 << 62, 4, ElemType.Q, signed=True)) == 1
+
+
+def test_q_abs_saturates_int64_min():
+    assert int(packed.abs_packed(u64(I64_MIN), ElemType.Q)) == I64_MAX
+    assert int(packed.abs_packed(u64(-7), ElemType.Q)) == 7
+
+
+def test_q_avg_round_no_overflow():
+    assert int(packed.avg_round(U64_MAX, U64_MAX, ElemType.Q)) == U64_MAX
+    assert int(packed.avg_round(U64_MAX, U64_MAX - 1, ElemType.Q)) == U64_MAX
+
+
+def test_q_minmax_signed_across_zero():
+    assert int(packed.minmax(u64(-5), 3, ElemType.Q, signed=True,
+                             take_max=True)) == 3
+    assert int(packed.minmax(u64(-5), 3, ElemType.Q, signed=True,
+                             take_max=False)) == u64(-5)
+
+
+def test_q_absdiff_unsigned_bounds():
+    assert int(packed.absdiff(U64_MAX, 0, ElemType.Q)) == U64_MAX
+    assert int(packed.absdiff(0, U64_MAX, ElemType.Q)) == U64_MAX
+
+
+def test_narrow_elems_unchanged_by_wide_path():
+    """Sub-64-bit lanes still take the fast int64 path (dtype check)."""
+    la, lb = packed._binary_wide(np.uint64(5), np.uint64(6), ElemType.H,
+                                 signed=True)
+    assert la.dtype == np.int64 and lb.dtype == np.int64
+    lq, _ = packed._binary_wide(np.uint64(5), np.uint64(6), ElemType.Q,
+                                signed=True)
+    assert lq.dtype == object
