@@ -9,6 +9,21 @@ priority.  Instruction *semantics* were already executed by the emulation
 library; the core consumes :class:`~repro.emulib.trace.DynInstr` records and
 charges time, exactly like the ATOM + Jinks arrangement of the paper.
 
+Two engines implement the same machine:
+
+* :meth:`Core.run` -- the production **event-driven scheduler**.  Instead of
+  rescanning the whole reorder buffer every cycle it keeps per-producer
+  wakeup lists (an instruction is re-examined only when a dependence
+  completes), an oldest-first ready queue, structural-stall horizons from
+  :meth:`~repro.cpu.funit.FuPool.next_free` and the memory models'
+  ``earliest_issue`` hints, and *cycle skipping*: when no commit, wakeup,
+  issue retry, dispatch or fetch can happen, the clock jumps straight to
+  the next event horizon.  See DESIGN.md section 1.5.
+* :meth:`Core.run_reference` -- the original per-cycle busy-wait loop,
+  retained verbatim as the differential oracle.  Both engines are
+  bit-identical in every :class:`SimResult` field; the golden-digest test
+  pins that equivalence over a mini-grid captured from the seed core.
+
 Simplifications (documented in DESIGN.md): mispredicted branches stall fetch
 until the branch resolves (wrong-path fetch is not simulated -- standard for
 trace-driven models), and memory disambiguation is optimistic (kernels
@@ -18,9 +33,10 @@ carry their memory dependences through registers).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, fields
 
-from ..emulib.trace import DynInstr, Trace, reg_pool
+from ..emulib.trace import DynInstr, TimingRecord, Trace, reg_pool
 from ..isa.model import InstrClass, RegPool
 from .bpred import BimodalPredictor, BranchTargetBuffer
 from .config import MachineConfig
@@ -29,9 +45,12 @@ from .funit import FuPool, fu_family, needs_complex_unit
 #: Sentinel blocking fetch until a mispredicted branch resolves.
 _FAR_FUTURE = 1 << 60
 
+#: "No pending event" sentinel for the event scheduler's horizon search.
+_NO_EVENT = 1 << 62
+
 
 class _Entry:
-    """One in-flight instruction in the reorder buffer."""
+    """One in-flight instruction in the reorder buffer (reference core)."""
 
     __slots__ = ("instr", "deps", "completion", "chain_ready", "issued",
                  "fetch_cycle", "mispredicted")
@@ -49,6 +68,31 @@ class _Entry:
         self.mispredicted = False
 
 
+class _EventEntry:
+    """One in-flight instruction in the event-driven scheduler.
+
+    Beyond the reference entry's fields it carries the wakeup machinery:
+    ``waiters`` (consumers to re-examine when this producer issues),
+    ``pending_deps`` (producers this entry still waits on) and ``seq``
+    (dispatch order, which is ROB order -- the ready queue's priority).
+    """
+
+    __slots__ = ("rec", "deps", "waiters", "pending_deps", "seq",
+                 "completion", "chain_ready", "issued", "fetch_cycle",
+                 "dispatch_cycle", "mispredicted")
+
+    def __init__(self, rec, fetch_cycle: int) -> None:
+        self.rec = rec
+        self.deps: list[_EventEntry] = []
+        self.waiters: list[_EventEntry] = []
+        self.completion: int | None = None
+        self.chain_ready: int | None = None
+        self.issued = False
+        self.fetch_cycle = fetch_cycle
+        self.mispredicted = False
+        # seq, dispatch_cycle and pending_deps are assigned at dispatch.
+
+
 @dataclass
 class SimResult:
     """Outcome of one simulation run."""
@@ -62,6 +106,10 @@ class SimResult:
     fetch_stall_cycles: int = 0
     rename_stall_events: int = 0
     mem_stats: dict = field(default_factory=dict)
+    #: Non-deterministic run metadata (wall-clock timing and the like);
+    #: excluded from equality so simulation results stay comparable across
+    #: hosts, cache hits and parallel execution paths.
+    meta: dict = field(default_factory=dict, compare=False)
 
     @property
     def ipc(self) -> float:
@@ -84,12 +132,19 @@ class SimResult:
             "fetch_stall_cycles": self.fetch_stall_cycles,
             "rename_stall_events": self.rename_stall_events,
             "mem_stats": dict(self.mem_stats),
+            "meta": dict(self.meta),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":
-        """Inverse of :meth:`to_dict`; round-trips to an equal instance."""
-        return cls(**data)
+        """Inverse of :meth:`to_dict`; round-trips to an equal instance.
+
+        Unknown keys are ignored rather than raised on, so persistent-cache
+        entries written by a newer schema degrade gracefully instead of
+        breaking older readers.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 class Core:
@@ -98,7 +153,10 @@ class Core:
     Args:
         config: a Table 1 machine configuration.
         memsys: any object with ``try_issue(instr, cycle) -> int | None``
-            (perfect model or a full cache hierarchy).
+            (perfect model or a full cache hierarchy).  A memory model may
+            additionally export ``earliest_issue(instr, cycle) -> int``, a
+            retry horizon the event scheduler uses to skip guaranteed-futile
+            reattempts (see :mod:`repro.memsys.cache` for the contract).
     """
 
     #: Extra cycles between a mispredicted branch resolving and useful
@@ -145,11 +203,370 @@ class Core:
             "fp": FuPool(config.fp_units),
             "med": FuPool(config.med_units, lanes=config.med_lanes),
         }
+        #: computation classes -> (functional-unit pool, needs complex unit).
+        self._route = {
+            InstrClass.INT_SIMPLE: (self.pools["int"], False),
+            InstrClass.INT_COMPLEX: (self.pools["int"], True),
+            InstrClass.FP_SIMPLE: (self.pools["fp"], False),
+            InstrClass.FP_COMPLEX: (self.pools["fp"], True),
+            InstrClass.MED_SIMPLE: (self.pools["med"], False),
+            InstrClass.MED_COMPLEX: (self.pools["med"], True),
+        }
+        self._mem_hint = getattr(memsys, "earliest_issue", None)
 
     # --- public API --------------------------------------------------------------
 
     def run(self, trace: Trace) -> SimResult:
-        """Simulate a full trace to completion and return statistics."""
+        """Simulate a full trace to completion and return statistics.
+
+        Event-driven: per-producer wakeup lists re-examine only the
+        instructions whose dependences just completed, structurally
+        stalled instructions park until their resource's next-free
+        horizon, and the clock jumps over cycles in which nothing can
+        happen.  Bit-identical to :meth:`run_reference` in every result
+        field -- including stall counters and memory-model statistics,
+        whose retry cadence the scheduler reproduces exactly.
+        """
+        cfg = self.config
+        width = cfg.width
+        records = trace.timing_records()
+        n = len(records)
+
+        rob: deque[_EventEntry] = deque()     # program order; head leftmost
+        fetch_queue: deque[_EventEntry] = deque()
+        last_writer: dict[int, _EventEntry] = {}
+        inflight_dsts = [0] * len(RegPool)    # RegPool is an IntEnum index
+        phys_limit = [cfg.phys_limit(pool) for pool in RegPool]
+        lsq_used = 0
+
+        releases: list[tuple[int, RegPool, int]] = []  # (completion, pool, rows)
+
+        fetch_idx = 0
+        cycle = 0
+        committed = 0
+        next_fetch_cycle = 0
+        fetch_stall_cycles = 0
+        rename_stalls = 0
+        fetch_queue_cap = 2 * width
+        seq = 0
+
+        #: (ready_cycle, seq, entry): all dependences issued, waiting for
+        #: their results; promoted to `issuable` when ready_cycle arrives.
+        wakeups: list[tuple[int, int, _EventEntry]] = []
+        #: entries that become ready exactly next cycle -- the overwhelmingly
+        #: common case, kept off the heap (the fast path guarantees the next
+        #: active cycle is `cycle + 1` while this list is non-empty).
+        wakeups_next: list[_EventEntry] = []
+        #: (seq, entry): ready now -- examined oldest-first each cycle.
+        issuable: list[tuple[int, _EventEntry]] = []
+        #: (retry_cycle, seq, entry): ready but structurally stalled;
+        #: sleeping until the resource's earliest possible free cycle.
+        parked: list[tuple[int, int, _EventEntry]] = []
+
+        # Hot-loop locals (the scheduler's inner loop is the hottest path in
+        # the whole package; attribute loads in it are measurable).
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        zero_idioms = self.zero_idioms
+        late_release_pools = self.late_release_pools
+        acc_chaining = self.acc_chaining
+        route = self._route
+        mem_try_issue = self.memsys.try_issue
+        int_try_issue = self.pools["int"].try_issue
+        predict_and_update = self.bpred.predict_and_update
+        btb_lookup_insert = self.btb.lookup_insert
+        rename_ok = self._rename_ok_rec
+        rob_size = cfg.rob_size
+        lsq_size = cfg.lsq_size
+        front_latency = cfg.front_latency
+        redirect = self.MISPREDICT_REDIRECT
+        KIND_COMPUTE = TimingRecord.KIND_COMPUTE
+        KIND_MEMORY = TimingRecord.KIND_MEMORY
+        KIND_CONTROL = TimingRecord.KIND_CONTROL
+
+        while committed < n:
+            cycle += 1
+
+            # --- release late-freed physical registers (backlog included) -------
+            while releases and releases[0][0] <= cycle:
+                _done, pool, charge = heappop(releases)
+                inflight_dsts[pool] -= charge
+
+            # --- commit: retire completed instructions in order ----------------
+            commits = 0
+            while rob and commits < width:
+                head = rob[0]
+                if head.completion is None or head.completion > cycle:
+                    break
+                rob.popleft()
+                rec = head.rec
+                head_zero = rec.op_name in zero_idioms
+                for dst, pool, charge in rec.dsts:
+                    if pool not in late_release_pools and not head_zero:
+                        inflight_dsts[pool] -= charge
+                    if last_writer.get(dst) is head:
+                        del last_writer[dst]
+                if rec.is_memory:
+                    lsq_used -= 1
+                committed += 1
+                commits += 1
+            if committed >= n:
+                break       # the remaining phases are vacuously empty
+
+            # --- wake: promote entries whose readiness/retry horizon arrived ----
+            if wakeups_next:
+                for entry in wakeups_next:
+                    heappush(issuable, (entry.seq, entry))
+                wakeups_next.clear()
+            while wakeups and wakeups[0][0] <= cycle:
+                _ready, s, entry = heappop(wakeups)
+                heappush(issuable, (s, entry))
+            while parked and parked[0][0] <= cycle:
+                _retry, s, entry = heappop(parked)
+                heappush(issuable, (s, entry))
+
+            # --- issue: oldest-first among ready entries, `width` per cycle -----
+            issued = 0
+            next_cycle = cycle + 1
+            while issuable and issued < width:
+                s, entry = heappop(issuable)
+                rec = entry.rec
+                kind = rec.kind
+                if kind == KIND_COMPUTE:
+                    latency = 1 if (acc_chaining and rec.acc_chain_eligible) \
+                        else rec.latency
+                    pool, needs_complex = route[rec.iclass]
+                    completion = pool.try_issue(
+                        needs_complex, cycle, rec.exec_rows, rec.op_name,
+                        latency)
+                elif kind == KIND_MEMORY:
+                    completion = mem_try_issue(rec.instr, cycle)
+                elif kind == KIND_CONTROL:
+                    # Branches resolve on a simple integer pipe.
+                    completion = int_try_issue(False, cycle, 1, rec.op_name, 1)
+                else:
+                    completion = next_cycle
+                if completion is None:
+                    # Structural hazard; younger ops may go.  Park until the
+                    # resource's earliest-free horizon (retries the seed core
+                    # would have made in between are guaranteed futile and
+                    # side-effect free -- see _retry_cycle).
+                    heappush(parked, (self._retry_cycle(entry, cycle), s,
+                                      entry))
+                    continue
+                entry.issued = True
+                entry.completion = completion
+                # First-element availability for chaining consumers (see
+                # _chain_ready on the reference engine).
+                if rec.vl <= 1:
+                    entry.chain_ready = completion
+                elif rec.is_memory:
+                    early = completion - rec.vl + 1
+                    entry.chain_ready = early if early > next_cycle \
+                        else next_cycle
+                elif rec.writes_acc:
+                    entry.chain_ready = completion
+                else:
+                    first = cycle + rec.latency
+                    entry.chain_ready = completion if completion < first \
+                        else first
+                issued += 1
+                if rec.op_name not in zero_idioms:
+                    for _dst, pool, charge in rec.dsts:
+                        if pool in late_release_pools:
+                            heappush(releases, (completion, pool, charge))
+                if entry.mispredicted:
+                    # Redirect fetch once the branch resolves.
+                    next_fetch_cycle = completion + redirect
+                waiters = entry.waiters
+                if waiters:
+                    for waiter in waiters:
+                        pending = waiter.pending_deps - 1
+                        waiter.pending_deps = pending
+                        if pending == 0:
+                            # All producers issued: earliest issue cycle is
+                            # the latest dependence availability (chain time
+                            # for chaining vector consumers) but never before
+                            # the cycle after dispatch.
+                            ready = waiter.dispatch_cycle + 1
+                            chaining = waiter.rec.chains
+                            for dep in waiter.deps:
+                                avail = dep.chain_ready if chaining \
+                                    else dep.completion
+                                if avail > ready:
+                                    ready = avail
+                            if ready == next_cycle:
+                                wakeups_next.append(waiter)
+                            elif ready <= cycle:
+                                heappush(issuable, (waiter.seq, waiter))
+                            else:
+                                heappush(wakeups, (ready, waiter.seq, waiter))
+                    entry.waiters = []
+
+            # --- dispatch: fetch queue -> ROB (rename + allocate) ---------------
+            dispatched = 0
+            while (fetch_queue and dispatched < width
+                   and len(rob) < rob_size):
+                entry = fetch_queue[0]
+                rec = entry.rec
+                if entry.fetch_cycle + front_latency > cycle:
+                    break
+                if rec.is_memory and lsq_used >= lsq_size:
+                    break
+                zero_idiom = rec.op_name in zero_idioms
+                if not zero_idiom:
+                    # Physical-register headroom for every destination pool
+                    # (inline _rename_ok_rec; this runs once per instruction).
+                    blocked = False
+                    for _dst, pool, charge in rec.dsts:
+                        if inflight_dsts[pool] + charge - 1 >= phys_limit[pool]:
+                            blocked = True
+                            break
+                    if blocked:
+                        rename_stalls += 1
+                        break
+                fetch_queue.popleft()
+                pending = 0
+                for src in rec.srcs:
+                    producer = last_writer.get(src)
+                    if producer is not None:
+                        entry.deps.append(producer)
+                        if not producer.issued:
+                            producer.waiters.append(entry)
+                            pending += 1
+                for dst, pool, charge in rec.dsts:
+                    if not zero_idiom:
+                        inflight_dsts[pool] += charge
+                    last_writer[dst] = entry
+                if rec.is_memory:
+                    lsq_used += 1
+                entry.seq = seq
+                entry.dispatch_cycle = cycle
+                seq += 1
+                rob.append(entry)
+                dispatched += 1
+                entry.pending_deps = pending
+                if pending == 0:
+                    ready = next_cycle
+                    chaining = rec.chains
+                    for dep in entry.deps:
+                        avail = dep.chain_ready if chaining \
+                            else dep.completion
+                        if avail > ready:
+                            ready = avail
+                    if ready == next_cycle:
+                        wakeups_next.append(entry)
+                    else:
+                        heappush(wakeups, (ready, entry.seq, entry))
+
+            # --- fetch: up to `width`, stopping at taken branches ---------------
+            if fetch_idx < n and cycle >= next_fetch_cycle:
+                fetched = 0
+                while (fetch_idx < n and fetched < width
+                       and len(fetch_queue) < fetch_queue_cap):
+                    rec = records[fetch_idx]
+                    entry = _EventEntry(rec, cycle)
+                    fetch_queue.append(entry)
+                    fetch_idx += 1
+                    fetched += 1
+                    if rec.is_branch:
+                        prediction = predict_and_update(
+                            rec.site, bool(rec.taken)
+                        )
+                        if prediction != rec.taken:
+                            # Fetch blocks until the branch resolves at
+                            # issue, which rewrites next_fetch_cycle.
+                            entry.mispredicted = True
+                            next_fetch_cycle = _FAR_FUTURE
+                            break
+                        if rec.taken:
+                            hit = btb_lookup_insert(rec.site)
+                            next_fetch_cycle = cycle + (1 if hit else 2)
+                            break
+                    elif rec.is_jump:
+                        hit = btb_lookup_insert(rec.site)
+                        next_fetch_cycle = cycle + (1 if hit else 2)
+                        break
+            elif fetch_idx < n:
+                fetch_stall_cycles += 1
+
+            # --- horizon: first future cycle at which anything can happen -------
+            # Fast path: leftover ready entries (width cutoff) or wakeups due
+            # next cycle mean the next cycle is active; nothing to account.
+            if issuable or wakeups_next:
+                continue
+            nxt = _NO_EVENT
+            if rob:
+                head = rob[0]
+                if head.completion is not None:
+                    nxt = head.completion if head.completion > cycle \
+                        else next_cycle
+            if parked and parked[0][0] < nxt:
+                nxt = parked[0][0]
+            if wakeups:
+                ready = wakeups[0][0]
+                if ready <= cycle:
+                    ready = next_cycle
+                if ready < nxt:
+                    nxt = ready
+            rename_blocked = False
+            if fetch_queue and len(rob) < rob_size:
+                head = fetch_queue[0]
+                front_ready = head.fetch_cycle + front_latency
+                if front_ready > cycle:
+                    if front_ready < nxt:
+                        nxt = front_ready
+                elif head.rec.is_memory and lsq_used >= lsq_size:
+                    pass        # a commit frees the LSQ; commits are events
+                elif not rename_ok(head.rec, inflight_dsts, phys_limit):
+                    # Dispatch resumes at a register release or a commit;
+                    # skipped cycles still count as rename-stall events.
+                    rename_blocked = True
+                    if releases and releases[0][0] < nxt:
+                        nxt = releases[0][0]
+                elif next_cycle < nxt:
+                    nxt = next_cycle
+            if (fetch_idx < n and len(fetch_queue) < fetch_queue_cap
+                    and next_fetch_cycle != _FAR_FUTURE):
+                fetch_at = next_fetch_cycle if next_fetch_cycle > cycle \
+                    else next_cycle
+                if fetch_at < nxt:
+                    nxt = fetch_at
+            if nxt >= _NO_EVENT:
+                raise RuntimeError(
+                    "event scheduler deadlocked with no pending event "
+                    f"(cycle {cycle}, {committed}/{n} committed)")
+
+            # --- cycle skip: account the stall counters the seed loop would
+            # have incremented while busy-waiting through the skipped span.
+            skipped = nxt - next_cycle
+            if skipped > 0:
+                if fetch_idx < n and next_fetch_cycle > next_cycle:
+                    fetch_stall_cycles += (min(nxt, next_fetch_cycle)
+                                           - next_cycle)
+                if rename_blocked:
+                    rename_stalls += skipped
+                cycle = nxt - 1     # the loop header re-increments
+
+        return SimResult(
+            cycles=cycle,
+            instructions=n,
+            operations=trace.operation_count(),
+            branch_lookups=self.bpred.lookups,
+            branch_mispredicts=self.bpred.mispredicts,
+            btb_misses=self.btb.misses,
+            fetch_stall_cycles=fetch_stall_cycles,
+            rename_stall_events=rename_stalls,
+            mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats") else {},
+        )
+
+    def run_reference(self, trace: Trace) -> SimResult:
+        """The seed per-cycle busy-wait engine, kept as the timing oracle.
+
+        Rescans the whole ROB every cycle and retries every stalled
+        instruction cycle-by-cycle.  Slow, but trivially correct; the
+        golden-digest and differential tests pin :meth:`run` against it.
+        """
         cfg = self.config
         width = cfg.width
         rob: list[_Entry] = []          # in program order; head at index 0
@@ -294,7 +711,39 @@ class Core:
             mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats") else {},
         )
 
-    # --- helpers ----------------------------------------------------------------------
+    # --- event-scheduler helpers --------------------------------------------------
+
+    def _retry_cycle(self, entry: _EventEntry, cycle: int) -> int:
+        """Next cycle a structurally stalled entry must be re-attempted.
+
+        Resources whose failures are side-effect free report how long they
+        stay busy (:meth:`FuPool.next_free`, the memory models'
+        ``earliest_issue``); everything else retries next cycle, exactly
+        like the busy-wait loop.
+        """
+        rec = entry.rec
+        if rec.is_memory:
+            hint = self._mem_hint(rec.instr, cycle) if self._mem_hint \
+                else cycle
+        elif rec.is_branch or rec.is_jump:
+            hint = self.pools["int"].next_free(False)
+        elif rec.is_nop:
+            hint = cycle        # a NOP never stalls; defensive only
+        else:
+            pool, needs_complex = self._route[rec.iclass]
+            hint = pool.next_free(needs_complex)
+        return hint if hint > cycle else cycle + 1
+
+    def _rename_ok_rec(self, rec, inflight, limits) -> bool:
+        """Record-based twin of :meth:`_rename_ok`."""
+        if rec.op_name in self.zero_idioms:
+            return True
+        for _dst, pool, charge in rec.dsts:
+            if inflight[pool] + charge - 1 >= limits[pool]:
+                return False
+        return True
+
+    # --- reference-core helpers ---------------------------------------------------
 
     @staticmethod
     def _chains(entry: _Entry) -> bool:

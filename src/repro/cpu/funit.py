@@ -60,13 +60,39 @@ class FuPool:
                 continue
             if unit.busy_until > cycle:
                 continue
+            if occupancy_rows == 1 and op_name not in _NON_PIPELINED:
+                # Scalar pipelined op: occupies the unit for one cycle.
+                unit.busy_until = cycle + 1
+                unit.ops_executed += 1
+                return cycle + latency
             occupancy = -(-occupancy_rows // unit.lanes)  # ceil division
             if op_name in _NON_PIPELINED:
                 occupancy = max(occupancy, latency)
-            unit.busy_until = cycle + max(1, occupancy)
+            occupancy = max(1, occupancy)
+            unit.busy_until = cycle + occupancy
             unit.ops_executed += occupancy_rows
-            return cycle + max(1, occupancy) - 1 + latency
+            return cycle + occupancy - 1 + latency
         return None
+
+    def next_free(self, needs_complex: bool) -> int:
+        """Earliest cycle at which a capable unit could accept an operation.
+
+        The event-driven scheduler uses this as a retry horizon for
+        structurally stalled instructions: every :meth:`try_issue` strictly
+        before the returned cycle is guaranteed to fail without side
+        effects.  The bound stays valid under interleaved issues by other
+        instructions, because a claim only ever pushes ``busy_until``
+        forward.
+        """
+        best = None
+        for unit in self.units:
+            if needs_complex and not unit.complex_capable:
+                continue
+            if best is None or unit.busy_until < best:
+                best = unit.busy_until
+        if best is None:
+            raise ValueError("no capable unit in pool")
+        return best
 
     @property
     def size(self) -> int:

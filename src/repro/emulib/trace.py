@@ -102,20 +102,128 @@ class DynInstr:
         return f"<{self.op.isa}:{self.op.name}{extra}>"
 
 
+class TimingRecord:
+    """Preclassified image of one :class:`DynInstr` for the timing core.
+
+    The cycle-level scheduler consults instruction-class predicates and
+    operand pools on every fetch/dispatch/issue/commit decision.  Resolving
+    them through enum properties per simulated run is pure recomputation --
+    the classification depends only on the trace, which the experiment grid
+    reuses across every (width, memory model) point.  A record folds those
+    lookups into plain attributes, computed once per trace.
+    """
+
+    #: values of :attr:`kind`, ordered by issue-path frequency.
+    KIND_COMPUTE = 0
+    KIND_MEMORY = 1
+    KIND_CONTROL = 2
+    KIND_NOP = 3
+
+    __slots__ = (
+        "instr", "iclass", "kind", "is_memory", "is_branch", "is_jump",
+        "is_nop", "chains", "op_name", "latency", "vl", "exec_rows",
+        "acc_chain_eligible", "writes_acc", "srcs", "dsts", "site", "taken",
+    )
+
+    def __init__(self, instr: DynInstr) -> None:
+        op = instr.op
+        iclass = op.iclass
+        self.instr = instr
+        self.iclass = iclass
+        self.is_memory = iclass.is_memory
+        self.is_branch = iclass == InstrClass.BRANCH
+        self.is_jump = iclass == InstrClass.JUMP
+        self.is_nop = iclass == InstrClass.NOP
+        if self.is_memory:
+            self.kind = self.KIND_MEMORY
+        elif self.is_branch or self.is_jump:
+            self.kind = self.KIND_CONTROL
+        elif self.is_nop:
+            self.kind = self.KIND_NOP
+        else:
+            self.kind = self.KIND_COMPUTE
+        is_media_compute = iclass in (InstrClass.MED_SIMPLE,
+                                      InstrClass.MED_COMPLEX)
+        self.chains = instr.vl > 1 and (iclass.is_media or self.is_memory)
+        self.op_name = op.name
+        self.latency = op.latency
+        self.vl = instr.vl
+        #: rows a media computation streams through its functional unit.
+        self.exec_rows = instr.vl if is_media_compute else 1
+        self.acc_chain_eligible = (is_media_compute and op.reads_acc
+                                   and op.writes_acc and instr.vl > 1)
+        self.writes_acc = op.writes_acc
+        self.srcs = instr.srcs
+        #: per destination: (encoded reg, pool, rename row charge).
+        self.dsts = tuple(
+            (dst, reg_pool(dst),
+             max(1, instr.vl) if reg_pool(dst) == RegPool.MED else 1)
+            for dst in instr.dsts)
+        self.site = instr.site
+        self.taken = instr.taken
+
+
+class TraceSummary:
+    """One-pass summary of a trace: statistics plus timing records.
+
+    Computed lazily by :meth:`Trace.summary` and cached until the trace is
+    mutated, so repeated simulation of the same trace (the experiment grid
+    runs each trace under many machine/memory configurations) pays the
+    O(trace) walk once instead of once per run.
+    """
+
+    __slots__ = ("records", "class_histogram", "opcode_histogram",
+                 "operation_count", "memory_references", "branch_count")
+
+    def __init__(self, instructions: list[DynInstr]) -> None:
+        records = [TimingRecord(ins) for ins in instructions]
+        class_hist: dict[InstrClass, int] = {}
+        opcode_hist: dict[str, int] = {}
+        operations = memory_refs = branches = 0
+        for rec in records:
+            class_hist[rec.iclass] = class_hist.get(rec.iclass, 0) + 1
+            opcode_hist[rec.op_name] = opcode_hist.get(rec.op_name, 0) + 1
+            operations += rec.vl * max(1, rec.instr.op.elem.lanes)
+            if rec.is_memory:
+                memory_refs += rec.vl
+            if rec.is_branch:
+                branches += 1
+        self.records = records
+        self.class_histogram = class_hist
+        self.opcode_histogram = opcode_hist
+        self.operation_count = operations
+        self.memory_references = memory_refs
+        self.branch_count = branches
+
+
 @dataclass
 class Trace:
-    """An ordered dynamic instruction stream plus summary statistics."""
+    """An ordered dynamic instruction stream plus summary statistics.
+
+    Statistics and timing records are computed once and cached; mutating
+    the trace through :meth:`append` / :meth:`extend` invalidates the
+    cache.  Code that mutates ``instructions`` directly must call
+    :meth:`invalidate_summary` afterwards.
+    """
 
     isa: str
     instructions: list[DynInstr] = field(default_factory=list)
+    _summary: "TraceSummary | None" = field(
+        default=None, init=False, repr=False, compare=False)
 
     def append(self, instr: DynInstr) -> DynInstr:
         self.instructions.append(instr)
+        self._summary = None
         return instr
 
     def extend(self, other: "Trace") -> None:
         """Concatenate another trace (used to stitch program phases)."""
         self.instructions.extend(other.instructions)
+        self._summary = None
+
+    def invalidate_summary(self) -> None:
+        """Drop cached statistics after direct ``instructions`` mutation."""
+        self._summary = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -128,17 +236,21 @@ class Trace:
 
     # --- statistics ------------------------------------------------------------
 
+    def summary(self) -> TraceSummary:
+        """The cached one-pass summary (recomputed after mutation)."""
+        if self._summary is None:
+            self._summary = TraceSummary(self.instructions)
+        return self._summary
+
+    def timing_records(self) -> list[TimingRecord]:
+        """Preclassified per-instruction records for the cycle-level core."""
+        return self.summary().records
+
     def class_histogram(self) -> dict[InstrClass, int]:
-        hist: dict[InstrClass, int] = {}
-        for ins in self.instructions:
-            hist[ins.iclass] = hist.get(ins.iclass, 0) + 1
-        return hist
+        return dict(self.summary().class_histogram)
 
     def opcode_histogram(self) -> dict[str, int]:
-        hist: dict[str, int] = {}
-        for ins in self.instructions:
-            hist[ins.op.name] = hist.get(ins.op.name, 0) + 1
-        return hist
+        return dict(self.summary().opcode_histogram)
 
     def operation_count(self) -> int:
         """Total *operations* (lane-level work items), counting vector length.
@@ -147,14 +259,11 @@ class Trace:
         operations -- the "order of magnitude more operations per
         instruction" the paper credits for MOM's low fetch pressure.
         """
-        total = 0
-        for ins in self.instructions:
-            total += ins.vl * max(1, ins.op.elem.lanes)
-        return total
+        return self.summary().operation_count
 
     def memory_references(self) -> int:
         """Total element-level memory accesses in the trace."""
-        return sum(ins.vl for ins in self.instructions if ins.iclass.is_memory)
+        return self.summary().memory_references
 
     def branch_count(self) -> int:
-        return sum(1 for ins in self.instructions if ins.iclass == InstrClass.BRANCH)
+        return self.summary().branch_count

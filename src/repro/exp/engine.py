@@ -18,6 +18,7 @@ the on-disk :class:`~repro.exp.cache.ResultCache`.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 
@@ -71,11 +72,25 @@ def make_memsys(point: PointSpec):
 
 
 def execute_point(point: PointSpec) -> SimResult:
-    """Build, verify and simulate one point (no caching)."""
+    """Build, verify and simulate one point (no caching).
+
+    The wall-clock cost of the cycle-level simulation itself is recorded
+    in ``result.meta`` (``sim_seconds``, ``sim_instructions_per_second``)
+    so sweeps and the core-speed benchmark can track simulator throughput;
+    ``meta`` is excluded from result equality and digests.
+    """
     build = built_kernel if point.kind == "kernel" else built_app
     built = build(point.target, point.isa, point.scale)
     cfg = machine_config(point.way, point.isa)
-    return Core(cfg, make_memsys(point)).run(built.trace)
+    core = Core(cfg, make_memsys(point))
+    start = time.perf_counter()
+    result = core.run(built.trace)
+    elapsed = time.perf_counter() - start
+    result.meta["sim_seconds"] = round(elapsed, 6)
+    if elapsed > 0:
+        result.meta["sim_instructions_per_second"] = round(
+            result.instructions / elapsed)
+    return result
 
 
 def _worker(payload: dict) -> dict:

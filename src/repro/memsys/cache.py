@@ -8,7 +8,13 @@ lives in :mod:`repro.memsys.hierarchy`.
 
 All timing here is expressed as *completion cycles*; structural back
 pressure is expressed by methods returning ``None`` (the core retries the
-instruction next cycle).
+instruction next cycle).  The memory models built from these blocks may
+additionally export an ``earliest_issue(instr, cycle)`` hint for the
+event-driven core: a lower bound before which every retry is guaranteed to
+fail without touching any of the stateful structures below (ports, banks,
+MSHRs, write buffer) -- retries that *would* touch state must stay on the
+cycle-by-cycle cadence so the hierarchy's counters stay bit-identical to a
+busy-wait core.
 """
 
 from __future__ import annotations

@@ -223,6 +223,27 @@ class ConventionalHierarchy:
             )
         return self._scalar_access(instr, cycle)
 
+    def earliest_issue(self, instr: DynInstr, cycle: int) -> int:
+        """Scheduler hint: earliest cycle :meth:`try_issue` could succeed.
+
+        Same contract as :meth:`repro.memsys.perfect.PerfectMemory.\
+earliest_issue`: every attempt strictly before the returned cycle must
+        fail without side effects.  An *unaligned* scalar access counts a
+        split on every attempt, so it gets no skip (the hint is ``cycle``
+        itself, i.e. retry next cycle); an aligned access whose ports are
+        all claimed can safely skip to the first port-release, because
+        :meth:`_claim_port` fails before any state is touched.  Failures
+        past the port claim (a full write buffer) also carry side effects,
+        so a cycle with a free port never skips either.
+        """
+        if instr.vl > 1:
+            return cycle         # decoupled subclasses override vector hints
+        if instr.addr % max(1, instr.nbytes):
+            return cycle
+        if all(free > cycle for free in self.port_free):
+            return min(self.port_free)
+        return cycle
+
     def _scalar_access(self, instr: DynInstr, cycle: int) -> int | None:
         pieces = self._split_unaligned(instr)
         start = self._claim_port(cycle, len(pieces))

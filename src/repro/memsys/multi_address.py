@@ -32,6 +32,12 @@ class MultiAddressHierarchy(ConventionalHierarchy):
             return self._scalar_access(instr, cycle)
         return self._vector_access(instr, cycle)
 
+    def earliest_issue(self, instr: DynInstr, cycle: int) -> int:
+        """Scheduler hint; a MOM access needs *every* port simultaneously."""
+        if instr.vl > 1:
+            return max(cycle, max(self.port_free))
+        return super().earliest_issue(instr, cycle)
+
     def _vector_access(self, instr: DynInstr, cycle: int) -> int | None:
         """Stream VL element accesses round-robin over every port."""
         ports = len(self.port_free)

@@ -83,6 +83,22 @@ class PerfectMemory:
             return None
         return cycle + self.latency
 
+    def earliest_issue(self, instr: DynInstr, cycle: int) -> int:
+        """Scheduler hint: earliest cycle :meth:`try_issue` could succeed.
+
+        Contract (shared by every memory model that offers this hint):
+        every ``try_issue`` strictly before the returned cycle is
+        guaranteed to fail *without side effects*, so an event-driven core
+        may skip those retry cycles and still be cycle-exact against a
+        model that retries every cycle.  Port claims only push busy
+        horizons forward, so the bound stays valid under interleaved
+        issues by other instructions.
+        """
+        busy = self.portset.busy_until
+        if instr.vl > 1:
+            return max(cycle, max(busy))     # a vector claims every port
+        return max(cycle, min(busy))         # a scalar needs any one port
+
     def stats(self) -> dict[str, int]:
         return {
             "scalar_accesses": self.portset.scalar_accesses,

@@ -73,6 +73,12 @@ class VectorCacheHierarchy(ConventionalHierarchy):
             return self._scalar_access(instr, cycle)
         return self._vector_access(instr, cycle)
 
+    def earliest_issue(self, instr: DynInstr, cycle: int) -> int:
+        """Scheduler hint; vector traffic waits on the single vector port."""
+        if instr.vl > 1:
+            return max(cycle, self.vector_port_free)
+        return super().earliest_issue(instr, cycle)
+
     def _vector_access(self, instr: DynInstr, cycle: int) -> int | None:
         if self.vector_port_free > cycle:
             return None

@@ -95,6 +95,29 @@ def test_simresult_roundtrip():
     assert clone.ipc == result.ipc
 
 
+def test_simresult_from_dict_ignores_unknown_keys():
+    """Cache entries written by a newer schema must degrade gracefully."""
+    data = SimResult(cycles=10, instructions=5, operations=5).to_dict()
+    data["a_future_field"] = {"nested": True}
+    clone = SimResult.from_dict(data)
+    assert (clone.cycles, clone.instructions) == (10, 5)
+
+
+def test_simresult_meta_excluded_from_equality():
+    """Wall-clock metadata must not break result comparisons or caching."""
+    a = SimResult(cycles=10, instructions=5, operations=5,
+                  meta={"sim_seconds": 0.25})
+    b = SimResult(cycles=10, instructions=5, operations=5)
+    assert a == b
+    assert SimResult.from_dict(a.to_dict()).meta == {"sim_seconds": 0.25}
+
+
+def test_execute_point_records_wall_clock_meta():
+    result = execute_point(PointSpec(**KERNEL_POINT))
+    assert result.meta["sim_seconds"] >= 0
+    assert result.meta["sim_instructions_per_second"] > 0
+
+
 # --- ResultCache ----------------------------------------------------------------
 
 def test_result_cache_put_get_clear(tmp_path):

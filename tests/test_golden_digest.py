@@ -1,0 +1,176 @@
+"""Golden differential test: the event-driven core is cycle-exact to the seed.
+
+The digests below were captured from the *seed* per-cycle busy-wait core
+(commit 950ede5's ``Core.run``) over a representative mini-grid: two
+kernels x all four ISAs x 2/8-way x {perfect 1-cycle, perfect 50-cycle,
+realistic cache} memory, plus the vector-cache and collapsing-buffer
+hierarchies for MOM.  Each digest hashes every deterministic
+:class:`~repro.cpu.core.SimResult` field -- cycles, instruction and
+operation counts, branch/BTB statistics, fetch- and rename-stall counters
+and the full memory-system statistics dict -- so the event-driven
+scheduler must reproduce the seed model bit-for-bit, stall cadence and
+all, not merely approximate it.
+
+If a deliberate timing-model change invalidates these values, re-capture
+them with ``python -m tests.test_golden_digest`` and update the table in
+the same commit as the model change.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cpu import Core, machine_config
+from repro.exp.engine import built_kernel
+from repro.memsys import (CollapsingBufferHierarchy, ConventionalHierarchy,
+                          MultiAddressHierarchy, PerfectMemory,
+                          VectorCacheHierarchy)
+
+KERNELS = ("idct", "motion2")
+ISAS = ("alpha", "mmx", "mdmx", "mom")
+WAYS = (2, 8)
+
+#: The realistic cache model each ISA runs on: the conventional hierarchy
+#: serves the scalar/SIMD ISAs (their accesses are all VL=1); MOM's matrix
+#: accesses need the decoupled multi-address scheme.
+CACHE_MODEL = {
+    "alpha": ConventionalHierarchy,
+    "mmx": ConventionalHierarchy,
+    "mdmx": ConventionalHierarchy,
+    "mom": MultiAddressHierarchy,
+}
+
+
+def make_memsys(label: str, way: int, isa: str):
+    cfg = machine_config(way, isa)
+    if label == "perfect":
+        return PerfectMemory(1, cfg.mem_ports, cfg.mem_port_width)
+    if label == "latency50":
+        return PerfectMemory(50, cfg.mem_ports, cfg.mem_port_width)
+    if label == "cache":
+        return CACHE_MODEL[isa](way)
+    if label == "vectorcache":
+        return VectorCacheHierarchy(way)
+    if label == "collapsing":
+        return CollapsingBufferHierarchy(way)
+    raise ValueError(label)
+
+
+def result_digest(result) -> str:
+    """Digest of every deterministic SimResult field (meta is wall-clock)."""
+    data = result.to_dict()
+    data.pop("meta", None)
+    canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+def grid_points():
+    for kernel in KERNELS:
+        for isa in ISAS:
+            memories = ["perfect", "latency50", "cache"]
+            if isa == "mom":
+                memories += ["vectorcache", "collapsing"]
+            for way in WAYS:
+                for label in memories:
+                    yield kernel, isa, way, label
+
+
+#: Captured from the seed busy-wait core -- see the module docstring.
+GOLDEN_DIGESTS = {
+    ('idct', 'alpha', 2, 'perfect'): '559f2403b41f08cb',
+    ('idct', 'alpha', 2, 'latency50'): '77dee657f47d1dd7',
+    ('idct', 'alpha', 2, 'cache'): '141f20b4ee4283c7',
+    ('idct', 'alpha', 8, 'perfect'): 'dc4d7182159805d0',
+    ('idct', 'alpha', 8, 'latency50'): 'ec03681bcebd084e',
+    ('idct', 'alpha', 8, 'cache'): 'bf9713d0dfdb20c6',
+    ('idct', 'mmx', 2, 'perfect'): 'cd6ddbbabcb7fb7c',
+    ('idct', 'mmx', 2, 'latency50'): 'd6a410a30fab7d8f',
+    ('idct', 'mmx', 2, 'cache'): '5a797f32a7a4840b',
+    ('idct', 'mmx', 8, 'perfect'): '795db29d1a4c444c',
+    ('idct', 'mmx', 8, 'latency50'): 'd9a1b3bd180b2430',
+    ('idct', 'mmx', 8, 'cache'): 'aba72c67f7e60979',
+    ('idct', 'mdmx', 2, 'perfect'): 'cd6ddbbabcb7fb7c',
+    ('idct', 'mdmx', 2, 'latency50'): 'd6a410a30fab7d8f',
+    ('idct', 'mdmx', 2, 'cache'): '5a797f32a7a4840b',
+    ('idct', 'mdmx', 8, 'perfect'): '3e541f82b78b0e29',
+    ('idct', 'mdmx', 8, 'latency50'): '00d4b6ed64c3970c',
+    ('idct', 'mdmx', 8, 'cache'): 'aab8d4a1e7559aff',
+    ('idct', 'mom', 2, 'perfect'): '1291265249d87f89',
+    ('idct', 'mom', 2, 'latency50'): '2712ed2503c61f2d',
+    ('idct', 'mom', 2, 'cache'): 'e5c3e2acdbbefa3c',
+    ('idct', 'mom', 2, 'vectorcache'): 'd09d2f10ab521296',
+    ('idct', 'mom', 2, 'collapsing'): 'ba07b1547d2fc800',
+    ('idct', 'mom', 8, 'perfect'): 'b259e5230ea713c0',
+    ('idct', 'mom', 8, 'latency50'): 'd85692f7a364c4f9',
+    ('idct', 'mom', 8, 'cache'): 'dcabc86fb00951ca',
+    ('idct', 'mom', 8, 'vectorcache'): 'a2781f24b596d4b4',
+    ('idct', 'mom', 8, 'collapsing'): '53f7afe933acd5ae',
+    ('motion2', 'alpha', 2, 'perfect'): 'd7683771a810e5ef',
+    ('motion2', 'alpha', 2, 'latency50'): '21a7364c4f38f1fd',
+    ('motion2', 'alpha', 2, 'cache'): 'c39302c802b400ca',
+    ('motion2', 'alpha', 8, 'perfect'): '2bca430d35a79ae2',
+    ('motion2', 'alpha', 8, 'latency50'): '05446a8c2c931c27',
+    ('motion2', 'alpha', 8, 'cache'): '7fa88b7523fc78f6',
+    ('motion2', 'mmx', 2, 'perfect'): 'c5b47daba2ed47f7',
+    ('motion2', 'mmx', 2, 'latency50'): 'a8715d4d5b45cacf',
+    ('motion2', 'mmx', 2, 'cache'): '2276b7dc7552569a',
+    ('motion2', 'mmx', 8, 'perfect'): '8678eb3e6182900b',
+    ('motion2', 'mmx', 8, 'latency50'): 'fb639a739038635d',
+    ('motion2', 'mmx', 8, 'cache'): 'b57256a9b764e40f',
+    ('motion2', 'mdmx', 2, 'perfect'): '31a87cb02f79862d',
+    ('motion2', 'mdmx', 2, 'latency50'): 'dfc195f6dec2206c',
+    ('motion2', 'mdmx', 2, 'cache'): '8a3ea5800a3ad2aa',
+    ('motion2', 'mdmx', 8, 'perfect'): '3fa8375dc329440a',
+    ('motion2', 'mdmx', 8, 'latency50'): '5073a8a9796dc84f',
+    ('motion2', 'mdmx', 8, 'cache'): 'e0593649af8a9a6e',
+    ('motion2', 'mom', 2, 'perfect'): '00e6159b8bcddf26',
+    ('motion2', 'mom', 2, 'latency50'): 'fba0830ecf79d402',
+    ('motion2', 'mom', 2, 'cache'): 'c60a6ecb2614e565',
+    ('motion2', 'mom', 2, 'vectorcache'): 'aca490dea7d81658',
+    ('motion2', 'mom', 2, 'collapsing'): '526787732e059c40',
+    ('motion2', 'mom', 8, 'perfect'): '5279ec217a651d13',
+    ('motion2', 'mom', 8, 'latency50'): 'e0925c3ce6ea6d02',
+    ('motion2', 'mom', 8, 'cache'): '958b3d4708a19bab',
+    ('motion2', 'mom', 8, 'vectorcache'): 'b64b6a47261ddf83',
+    ('motion2', 'mom', 8, 'collapsing'): '538d644c6b27629f',
+}
+
+
+def test_grid_matches_digest_table():
+    """Every mini-grid point has a pinned digest, and nothing is orphaned."""
+    assert set(grid_points()) == set(GOLDEN_DIGESTS)
+
+
+@pytest.mark.parametrize("kernel,isa,way,memory", list(grid_points()),
+                         ids=lambda v: str(v))
+def test_event_core_matches_seed_digest(kernel, isa, way, memory):
+    built = built_kernel(kernel, isa)
+    core = Core(machine_config(way, isa), make_memsys(memory, way, isa))
+    result = core.run(built.trace)
+    assert result_digest(result) == GOLDEN_DIGESTS[(kernel, isa, way, memory)]
+
+
+def test_reference_core_still_matches_seed_digest():
+    """The retained busy-wait oracle reproduces the seed too (spot check)."""
+    for point in (("idct", "mom", 8, "cache"),
+                  ("motion2", "alpha", 2, "perfect")):
+        kernel, isa, way, memory = point
+        built = built_kernel(kernel, isa)
+        core = Core(machine_config(way, isa), make_memsys(memory, way, isa))
+        result = core.run_reference(built.trace)
+        assert result_digest(result) == GOLDEN_DIGESTS[point]
+
+
+def _recapture():     # pragma: no cover - maintenance helper
+    print("GOLDEN_DIGESTS = {")
+    for kernel, isa, way, memory in grid_points():
+        built = built_kernel(kernel, isa)
+        core = Core(machine_config(way, isa), make_memsys(memory, way, isa))
+        digest = result_digest(core.run(built.trace))
+        print(f"    {(kernel, isa, way, memory)!r}: {digest!r},")
+    print("}")
+
+
+if __name__ == "__main__":     # pragma: no cover
+    _recapture()

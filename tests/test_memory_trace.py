@@ -139,6 +139,44 @@ def test_branch_count():
     assert t.branch_count() == 1
 
 
+def test_trace_summary_cached_and_invalidated_on_append():
+    t = Trace("alpha")
+    t.append(DynInstr(ALPHA["addq"]))
+    assert t.operation_count() == 1
+    assert t.summary() is t.summary()          # cached between reads
+    t.append(DynInstr(ALPHA["addq"]))          # append invalidates
+    assert t.operation_count() == 2
+    assert t.opcode_histogram() == {"addq": 2}
+
+
+def test_trace_summary_invalidated_on_extend():
+    a, b = Trace("alpha"), Trace("alpha")
+    a.append(DynInstr(ALPHA["addq"]))
+    assert a.branch_count() == 0               # populate the cache
+    b.append(DynInstr(ALPHA["bne"], taken=True, site=1))
+    a.extend(b)
+    assert a.branch_count() == 1
+    assert a.class_histogram()[InstrClass.BRANCH] == 1
+
+
+def test_trace_histogram_callers_cannot_corrupt_cache():
+    t = Trace("alpha")
+    t.append(DynInstr(ALPHA["addq"]))
+    hist = t.opcode_histogram()
+    hist["addq"] = 999                          # mutate the returned copy
+    assert t.opcode_histogram() == {"addq": 1}
+
+
+def test_timing_records_preclassify_instructions():
+    t = Trace("mom")
+    t.append(DynInstr(MOM["momldq"], addr=0, nbytes=8, stride=32, vl=4))
+    t.append(DynInstr(MOM["paddb"], vl=16))
+    load, add = t.timing_records()
+    assert load.is_memory and load.chains and load.vl == 4
+    assert not add.is_memory and add.exec_rows == 16
+    assert t.timing_records() is t.summary().records
+
+
 def test_dyninstr_repr():
     ins = DynInstr(MOM["momldq"], addr=0x2000, vl=8, stride=8)
     assert "momldq" in repr(ins)
