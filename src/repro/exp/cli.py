@@ -12,9 +12,15 @@ Examples::
     repro sweep --kernels idct,motion2 --isas mom --ways 1,2,4,8
     repro cache                        # show cache location / size
     repro cache --clear
+    repro serve --workers 4            # boot the simulation service
+    repro ping                         # handshake with a running server
+    repro submit figure5               # run a sweep through the service
+    repro shutdown                     # drain and stop the server
 
 Every simulation funnels through one :class:`~repro.exp.engine.Session`,
-so a warm-cache rerun of any command skips simulation entirely.
+so a warm-cache rerun of any command skips simulation entirely; the
+service shares the same persistent cache, so ``repro submit`` and
+``repro sweep`` warm each other.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .. import __version__
 from .engine import Session
 from .spec import PRESETS, SweepSpec, preset
 
@@ -154,13 +161,7 @@ def _sweep_from_args(args) -> SweepSpec:
     return sweep
 
 
-def _cmd_sweep(args) -> int:
-    session = _session(args)
-    sweep = _sweep_from_args(args)
-    points = sweep.points()
-    print(f"sweep {sweep.name}: {len(points)} points, jobs={args.jobs}")
-    results = session.run(points, jobs=args.jobs)
-
+def _print_grid(points, results) -> None:
     # Per-target baseline for the speedup column: alpha at the narrowest
     # way/latency present in the sweep, falling back to whatever is there.
     baselines: dict[str, tuple[tuple, int]] = {}
@@ -180,6 +181,15 @@ def _cmd_sweep(args) -> int:
         print(f"{point.target:16s} {point.isa:6s} {point.way:>3d} "
               f"{point.latency:>4d} {point.memory:12s} {res.cycles:>10d} "
               f"{speedup:7.2f}x")
+
+
+def _cmd_sweep(args) -> int:
+    session = _session(args)
+    sweep = _sweep_from_args(args)
+    points = sweep.points()
+    print(f"sweep {sweep.name}: {len(points)} points, jobs={args.jobs}")
+    results = session.run(points, jobs=args.jobs)
+    _print_grid(points, results)
     print(f"\ncache: {session.hits} hits, {session.misses} misses")
     return 0
 
@@ -201,11 +211,171 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+# --- the serving layer --------------------------------------------------------
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from ..serve import SimServer
+
+    server = SimServer(args.host, args.port, workers=args.workers,
+                       cache_dir=args.cache_dir,
+                       use_cache=not args.no_cache,
+                       max_inflight=args.max_inflight)
+
+    async def main() -> None:
+        loop = asyncio.get_running_loop()
+        host, port = await server.start()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.stop()))
+            except NotImplementedError:      # non-unix event loop
+                pass
+        print(f"repro serve: v{__version__} listening on {host}:{port} "
+              f"({server.workers} workers, salt {server.session.salt})",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: drained and stopped")
+    return 0
+
+
+def _cmd_ping(args) -> int:
+    from ..emulib.fingerprint import source_fingerprint
+    from ..serve import Client, ServeError
+    from ..serve.protocol import PROTOCOL_VERSION
+
+    try:
+        with Client(args.host, args.port, timeout=args.timeout) as client:
+            pong = client.ping()
+    except (OSError, ServeError) as exc:
+        print(f"repro ping: {args.host}:{args.port} unreachable or "
+              f"incompatible: {exc}", file=sys.stderr)
+        return 1
+    if pong.get("protocol") != PROTOCOL_VERSION:
+        print(f"repro ping: server speaks protocol {pong.get('protocol')}, "
+              f"this client speaks {PROTOCOL_VERSION}; upgrade the older "
+              f"side", file=sys.stderr)
+        return 1
+    print(f"server {args.host}:{args.port}: version {pong['version']}, "
+          f"protocol {pong['protocol']}, {pong['workers']} workers")
+    stats = pong["stats"]
+    print(f"stats: {stats['points']} points served "
+          f"({stats['cache_hits']} cache, {stats['dedup_hits']} dedup, "
+          f"{stats['simulated']} simulated), "
+          f"{stats['cache_entries']} cache entries, "
+          f"{stats['workers_alive']} workers alive")
+    local = source_fingerprint()
+    if pong["salt"] != local:
+        print(f"warning: server code salt {pong['salt']} != local {local}; "
+              f"results will not share a cache namespace", file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from ..cpu import SimResult
+    from ..serve import Client, ServeError
+    from .spec import PointSpec
+
+    sweep = _sweep_from_args(args)
+    points = sweep.points()
+    try:
+        with Client(args.host, args.port, timeout=args.timeout) as client:
+            print(f"submit {sweep.name}: {len(points)} points "
+                  f"-> {args.host}:{args.port}")
+            results: dict[PointSpec, SimResult] = {}
+            failures: list[tuple[dict, str]] = []
+            done: dict = {}
+            for message in client.submit_iter(points):
+                if message["op"] == "result" and message["ok"]:
+                    results[PointSpec.from_payload(message["point"])] = \
+                        SimResult.from_dict(message["result"])
+                elif message["op"] == "result":
+                    failures.append((message["point"], message["error"]))
+                elif message["op"] == "done":
+                    done = message
+    except (OSError, ServeError) as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    completed = [p for p in points if p in results]
+    if completed:
+        _print_grid(completed, results)
+    print(f"\nserver: {done.get('cache_hits', 0)} cache hits, "
+          f"{done.get('dedup_hits', 0)} dedup hits, "
+          f"{done.get('simulated', 0)} simulated")
+    for payload, error in failures:
+        print(f"repro submit: point {payload} failed: {error}",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_shutdown(args) -> int:
+    from ..serve import Client, ServeError
+
+    try:
+        with Client(args.host, args.port, timeout=args.timeout) as client:
+            client.shutdown()
+    except (OSError, ServeError) as exc:
+        print(f"repro shutdown: {exc}", file=sys.stderr)
+        return 1
+    print(f"server {args.host}:{args.port} draining")
+    return 0
+
+
+def _add_sweep_axes(parser: argparse.ArgumentParser, *,
+                    scale: bool = False) -> None:
+    """The axis flags shared by ``repro sweep`` and ``repro submit``.
+
+    ``_sweep_from_args`` reads every flag added here plus ``scale``;
+    pass ``scale=True`` unless :func:`_add_common` already supplies it.
+    """
+    if scale:
+        parser.add_argument("--scale", type=int, default=1,
+                            help="workload scale factor (default 1)")
+    parser.add_argument("preset", nargs="?", default=None,
+                        help="named preset (figure5, figure7, latency, "
+                             "fetch-pressure, table1)")
+    parser.add_argument("--kernels", type=_csv, default=(),
+                        help="comma-separated kernel names")
+    parser.add_argument("--apps", type=_csv, default=(),
+                        help="comma-separated application names")
+    parser.add_argument("--isas", type=_csv, default=(),
+                        help="comma-separated ISAs (alpha,mmx,mdmx,mom)")
+    parser.add_argument("--ways", type=_csv_int, default=(),
+                        help="comma-separated issue widths (1,2,4,8)")
+    parser.add_argument("--latencies", type=_csv_int, default=(),
+                        help="comma-separated perfect-memory latencies")
+    parser.add_argument("--memory", type=_csv, default=(),
+                        help="comma-separated memory models")
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    from ..serve.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    parser.add_argument("--host", default=DEFAULT_HOST,
+                        help=f"server address (default {DEFAULT_HOST})")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help=f"server port (default {DEFAULT_PORT})")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="socket timeout in seconds (default: none)")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from ..serve.protocol import PROTOCOL_VERSION
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures and tables of the MOM paper "
                     "(MICRO 1999) through the unified experiment engine.")
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {__version__} (serve protocol {PROTOCOL_VERSION})")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("figure5", help="kernel speedups across issue widths")
@@ -233,21 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_fetch_pressure)
 
     p = sub.add_parser("sweep", help="run a preset or custom sweep")
-    p.add_argument("preset", nargs="?", default=None,
-                   help="named preset (figure5, figure7, latency, "
-                        "fetch-pressure, table1)")
-    p.add_argument("--kernels", type=_csv, default=(),
-                   help="comma-separated kernel names")
-    p.add_argument("--apps", type=_csv, default=(),
-                   help="comma-separated application names")
-    p.add_argument("--isas", type=_csv, default=(),
-                   help="comma-separated ISAs (alpha,mmx,mdmx,mom)")
-    p.add_argument("--ways", type=_csv_int, default=(),
-                   help="comma-separated issue widths (1,2,4,8)")
-    p.add_argument("--latencies", type=_csv_int, default=(),
-                   help="comma-separated perfect-memory latencies")
-    p.add_argument("--memory", type=_csv, default=(),
-                   help="comma-separated memory models")
+    _add_sweep_axes(p)
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
 
@@ -255,6 +411,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--clear", action="store_true", help="delete all entries")
     p.add_argument("--cache-dir", default=None)
     p.set_defaults(func=_cmd_cache)
+
+    p = sub.add_parser("serve", help="run the sharded simulation service")
+    _add_endpoint(p)
+    p.add_argument("--workers", type=int, default=2,
+                   help="shard worker processes (default 2)")
+    p.add_argument("--max-inflight", type=int, default=None,
+                   help="in-flight simulation budget (default 8*workers)")
+    p.add_argument("--cache-dir", default=None,
+                   help="override the result-cache directory")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the persistent result cache")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("ping", help="handshake with a running server")
+    _add_endpoint(p)
+    p.set_defaults(func=_cmd_ping)
+
+    p = sub.add_parser("submit",
+                       help="run a preset or custom sweep via the service")
+    _add_sweep_axes(p, scale=True)
+    _add_endpoint(p)
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("shutdown", help="drain and stop a running server")
+    _add_endpoint(p)
+    p.set_defaults(func=_cmd_shutdown)
 
     return parser
 

@@ -160,18 +160,43 @@ class Session:
         if entry is None:
             return None
         result = SimResult.from_dict(entry["result"])
+        # Replayed, not measured: the wall-clock numbers in meta describe
+        # the run that *populated* the cache, so flag the replay to keep
+        # them from being read as a fresh measurement.
+        result.meta["cache_hit"] = True
         self._memo[key] = result
         return result
 
-    def _store(self, point: PointSpec, result: SimResult) -> None:
-        key = self.key_for(point)
-        self._memo[key] = result
-        if self.cache is not None:
-            self.cache.put(key, {
-                "spec": point.payload(),
-                "salt": self.salt,
-                "result": result.to_dict(),
-            })
+    def store(self, point: PointSpec, result: SimResult) -> None:
+        """Memoize a result and persist it to the on-disk cache.
+
+        Public because the serving layer stores worker-produced results
+        through the session, so the service and in-process sessions
+        share one source-fingerprinted store.
+        """
+        self.memoize(point, result)
+        self.persist(point, result)
+
+    def memoize(self, point: PointSpec, result: SimResult) -> None:
+        """In-memory half of :meth:`store` (must run on the owner's
+        thread; later :meth:`lookup`\\ s see the result immediately)."""
+        self._memo[self.key_for(point)] = result
+
+    def persist(self, point: PointSpec, result: SimResult) -> None:
+        """On-disk half of :meth:`store`.  Safe to run off-thread after
+        :meth:`memoize` -- the cache write is atomic, and readers fall
+        back to re-simulation if they race ahead of it."""
+        if self.cache is None:
+            return
+        data = result.to_dict()
+        # Never persist the replay marker itself: whoever loads this
+        # entry gets a fresh ``cache_hit`` flag from :meth:`lookup`.
+        data.get("meta", {}).pop("cache_hit", None)
+        self.cache.put(self.key_for(point), {
+            "spec": point.payload(),
+            "salt": self.salt,
+            "result": data,
+        })
 
     # --- execution --------------------------------------------------------
 
@@ -183,7 +208,7 @@ class Session:
             return cached
         self.misses += 1
         result = execute_point(point)
-        self._store(point, result)
+        self.store(point, result)
         return result
 
     def resolve(self, sweep) -> tuple[PointSpec, ...]:
@@ -229,7 +254,7 @@ class Session:
                                        pool.map(_worker, payloads,
                                                 chunksize=chunk)):
                     result = SimResult.from_dict(data)
-                    self._store(point, result)
+                    self.store(point, result)
                     results[point] = result
         else:
             for point in missing:

@@ -1,0 +1,31 @@
+"""The serving layer: a sharded async simulation service.
+
+Turns the experiment engine into a long-lived multi-client throughput
+machine while keeping every answer bit-identical to an in-process
+:class:`~repro.exp.engine.Session`:
+
+* :mod:`repro.serve.protocol` -- versioned newline-delimited JSON over
+  TCP (requests, responses, the handshake that rejects mismatched
+  builds).
+* :mod:`repro.serve.shard` -- :class:`ShardPool`, worker processes with
+  per-shard build affinity (points sharing a build land on the shard
+  whose build memo already holds their trace).
+* :mod:`repro.serve.server` -- :class:`SimServer`, the asyncio event
+  loop: cache-first answers, cross-client in-flight dedup, same-build
+  batching, backpressure and graceful drain.
+* :mod:`repro.serve.client` -- :class:`Client` / :class:`AsyncClient`.
+
+CLI: ``repro serve`` boots a server, ``repro ping`` handshakes,
+``repro submit`` runs any sweep through it.
+"""
+
+from .protocol import DEFAULT_HOST, DEFAULT_PORT, PROTOCOL_VERSION
+from .client import AsyncClient, Client, ServeError
+from .server import SimServer, run_server
+from .shard import ShardPool
+
+__all__ = [
+    "DEFAULT_HOST", "DEFAULT_PORT", "PROTOCOL_VERSION",
+    "AsyncClient", "Client", "ServeError",
+    "SimServer", "run_server", "ShardPool",
+]

@@ -1,0 +1,215 @@
+"""Client library for the simulation service: sync and asyncio flavors.
+
+:class:`Client` is a plain-socket synchronous client -- what the CLI,
+tests and thread-based load generators use.  :class:`AsyncClient` is the
+same protocol on asyncio streams for callers already inside an event
+loop.  Both speak the versioned handshake of
+:mod:`repro.serve.protocol`: every request carries the local protocol
+version and any ``ok: false`` control response raises :class:`ServeError`
+with the server's complaint, so mismatched builds fail loudly.
+
+The convenience :meth:`Client.run` mirrors
+:meth:`repro.exp.engine.Session.run`: submit points, collect the
+streamed results, and return ``{point: SimResult}`` in submit order --
+bit-identical to an in-process session, by construction and by the
+golden-digest service test.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+
+from ..cpu import SimResult
+from ..exp.spec import PointSpec
+from . import protocol
+
+
+class ServeError(RuntimeError):
+    """The server refused a request or a submitted point failed."""
+
+
+def _payloads(points) -> list[dict]:
+    out = []
+    for point in points:
+        out.append(point.payload() if isinstance(point, PointSpec)
+                   else dict(point))
+    return out
+
+
+def _collect(stream, points) -> dict[PointSpec, SimResult]:
+    """Fold a submit message stream into ``{point: result}`` (submit order)."""
+    points = [p if isinstance(p, PointSpec) else PointSpec.from_payload(p)
+              for p in points]
+    by_seq: dict[int, SimResult] = {}
+    failures: list[str] = []
+    for message in stream:
+        if message["op"] == "result":
+            if message["ok"]:
+                by_seq[message["seq"]] = SimResult.from_dict(
+                    message["result"])
+            else:
+                failures.append(
+                    f"{message['point']}: {message['error']}")
+    if failures:
+        raise ServeError(f"{len(failures)} point(s) failed: "
+                         + "; ".join(failures[:3]))
+    return {point: by_seq[seq] for seq, point in enumerate(points)}
+
+
+class Client:
+    """Synchronous service client (context manager closes the socket)."""
+
+    def __init__(self, host: str = protocol.DEFAULT_HOST,
+                 port: int = protocol.DEFAULT_PORT, *,
+                 timeout: float | None = None) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._jobs = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # --- plumbing ---------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        self._file.write(protocol.encode(message))
+        self._file.flush()
+
+    def _recv(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        message = protocol.decode(line)
+        # Control-level refusals raise; per-point failures stream back as
+        # ``op: "result"`` messages and are aggregated by the caller.
+        if (not message.get("ok", False) and "error" in message
+                and message.get("op") != "result"):
+            raise ServeError(message["error"])
+        return message
+
+    # --- control ops ------------------------------------------------------
+
+    def ping(self) -> dict:
+        """Handshake; returns the pong (version, salt, workers, stats)."""
+        from .. import __version__
+
+        self._send(protocol.request("ping", version=__version__))
+        return self._recv()
+
+    def stats(self) -> dict:
+        self._send(protocol.request("stats"))
+        return self._recv()["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit."""
+        self._send(protocol.request("shutdown"))
+        self._recv()                     # "bye"
+
+    # --- jobs -------------------------------------------------------------
+
+    def submit_iter(self, points):
+        """Submit points; yield ``result`` messages as they stream back
+        (completion order), ending after the final ``done`` message."""
+        job = f"job-{next(self._jobs)}"
+        self._send(protocol.request("submit", id=job,
+                                    points=_payloads(points)))
+        while True:
+            message = self._recv()
+            yield message
+            if message["op"] == "done":
+                return
+
+    def run(self, points) -> dict[PointSpec, SimResult]:
+        """Submit and gather: ``{point: SimResult}`` in submit order."""
+        points = list(points)
+        return _collect(self.submit_iter(points), points)
+
+
+class AsyncClient:
+    """The same protocol for callers already on an event loop."""
+
+    def __init__(self, host: str = protocol.DEFAULT_HOST,
+                 port: int = protocol.DEFAULT_PORT) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._jobs = itertools.count(1)
+
+    async def connect(self) -> "AsyncClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=protocol.MAX_LINE_BYTES)
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def __aenter__(self) -> "AsyncClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _send(self, message: dict) -> None:
+        self._writer.write(protocol.encode(message))
+        await self._writer.drain()
+
+    async def _recv(self) -> dict:
+        line = await self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        message = protocol.decode(line)
+        # Control-level refusals raise; per-point failures stream back as
+        # ``op: "result"`` messages and are aggregated by the caller.
+        if (not message.get("ok", False) and "error" in message
+                and message.get("op") != "result"):
+            raise ServeError(message["error"])
+        return message
+
+    async def ping(self) -> dict:
+        from .. import __version__
+
+        await self._send(protocol.request("ping", version=__version__))
+        return await self._recv()
+
+    async def stats(self) -> dict:
+        await self._send(protocol.request("stats"))
+        return (await self._recv())["stats"]
+
+    async def shutdown(self) -> None:
+        await self._send(protocol.request("shutdown"))
+        await self._recv()
+
+    async def submit_iter(self, points):
+        """Async generator of streamed ``result`` messages, then ``done``."""
+        job = f"job-{next(self._jobs)}"
+        await self._send(protocol.request("submit", id=job,
+                                          points=_payloads(points)))
+        while True:
+            message = await self._recv()
+            yield message
+            if message["op"] == "done":
+                return
+
+    async def run(self, points) -> dict[PointSpec, SimResult]:
+        points = list(points)
+        messages = [m async for m in self.submit_iter(points)]
+        return _collect(messages, points)

@@ -1,0 +1,102 @@
+"""Wire protocol of the simulation service: versioned NDJSON over TCP.
+
+Every message is one JSON object on one ``\\n``-terminated line (UTF-8,
+no embedded newlines -- ``json.dumps`` never emits raw newlines).  Every
+*request* carries ``{"op": ..., "protocol": PROTOCOL_VERSION}``; the
+server refuses, loudly and with its own version in the error payload,
+any request whose ``protocol`` differs, so mismatched client/server
+builds fail at the handshake instead of mis-parsing each other.
+
+Requests (client -> server)::
+
+    {"op": "ping", "protocol": 1, "version": "<client package version>"}
+    {"op": "submit", "protocol": 1, "id": "<job id>",
+     "points": [<PointSpec payload>, ...]}
+    {"op": "stats", "protocol": 1}
+    {"op": "shutdown", "protocol": 1}
+
+Responses (server -> client), all carrying ``"ok"``::
+
+    {"ok": true, "op": "pong", "protocol": 1, "version": ..., "salt": ...,
+     "workers": N, "stats": {...}}
+    {"ok": true, "op": "accepted", "id": ..., "points": N}
+    {"ok": true, "op": "result", "id": ..., "seq": i, "source":
+     "cache"|"dedup"|"sim", "point": {...}, "result": <SimResult dict>}
+    {"ok": true, "op": "done", "id": ..., "points": N,
+     "cache_hits": ..., "dedup_hits": ..., "simulated": ...}
+    {"ok": true, "op": "stats", "stats": {...}}
+    {"ok": true, "op": "bye"}
+    {"ok": false, "error": "...", ...}
+
+``result`` messages stream back in *completion* order (``seq`` indexes
+into the submitted point list); ``done`` is always the last message of a
+job.  A failed point still produces a ``result`` message, with
+``"ok": false`` and ``"error"`` instead of ``"result"``.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Bump on any incompatible wire change; the handshake rejects mismatches.
+PROTOCOL_VERSION = 1
+
+#: Refuse lines beyond this many bytes (a figure7-sized submit is ~20 KiB;
+#: this bound exists so a stray client cannot balloon server memory).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Default TCP endpoint of ``repro serve``.
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8643
+
+
+class ProtocolError(ValueError):
+    """A malformed or version-mismatched message."""
+
+
+def encode(message: dict) -> bytes:
+    """One message as a newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode(line: bytes | str) -> dict:
+    """Parse one line into a message dict.
+
+    Raises:
+        ProtocolError: not JSON, or not a JSON object.
+    """
+    try:
+        message = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def check_request(message: dict) -> str:
+    """Validate a request's shape and protocol version; returns the op.
+
+    Raises:
+        ProtocolError: missing op, or client/server protocol mismatch.
+    """
+    op = message.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request has no 'op'")
+    got = message.get("protocol")
+    if got != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
+            f"request carries {got!r}; upgrade the older side")
+    return op
+
+
+def request(op: str, **fields) -> dict:
+    """A client request carrying the local protocol version."""
+    return {"op": op, "protocol": PROTOCOL_VERSION, **fields}
+
+
+def error_response(message: str, **fields) -> dict:
+    return {"ok": False, "error": message,
+            "protocol": PROTOCOL_VERSION, **fields}

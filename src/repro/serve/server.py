@@ -1,0 +1,367 @@
+"""The asyncio simulation job server.
+
+One :class:`SimServer` owns a :class:`~repro.exp.engine.Session` (and
+through it the persistent :class:`~repro.exp.cache.ResultCache`) plus a
+:class:`~repro.serve.shard.ShardPool` of worker processes, and serves
+the newline-delimited JSON protocol of :mod:`repro.serve.protocol` to
+any number of concurrent clients:
+
+* **Cache first** -- a point whose result is already in the session
+  memo or the on-disk cache is answered immediately on the event loop;
+  no worker is touched.  The service and in-process sessions share one
+  source-fingerprinted store, so either side can warm the other.
+* **Dedup** -- identical points in flight (same content hash, any
+  client) share one future; the simulation runs once and every waiter
+  receives the same bits.
+* **Shard + batch** -- cache misses are grouped by build identity and
+  queued to the shard that owns that build (see
+  :mod:`repro.serve.shard`), so a worker builds each kernel/app once
+  and then answers its whole batch from the build memo.
+* **Backpressure** -- a global in-flight budget (``max_inflight``,
+  default ``8 x workers``) bounds queued-but-unfinished simulations;
+  a submit that exceeds it waits instead of ballooning worker queues,
+  and every streamed response awaits ``writer.drain()``.
+* **Graceful drain** -- shutdown (the ``shutdown`` op or
+  :meth:`SimServer.stop`) stops accepting work, lets in-flight points
+  finish and be streamed/cached, then joins the pool.
+
+Failure modes: a point whose build or simulation raises streams back an
+``ok: false`` result for that point only (the shard survives); a client
+that disconnects mid-job does not cancel its simulations -- they finish
+and warm the cache for the next asker; a worker process killed from
+outside would strand its queued batches, so ``stats`` exposes
+``workers_alive`` and the load harness treats a shortfall as fatal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from .. import __version__
+from ..cpu import SimResult
+from ..exp.engine import Session
+from ..exp.spec import PointSpec
+from . import protocol
+from .shard import ShardPool, build_key
+
+
+class SimServer:
+    """Sharded, deduplicating simulation service over asyncio TCP.
+
+    Args:
+        host/port: bind address; ``port=0`` picks a free port (see
+            :attr:`port` after :meth:`start`).
+        workers: shard-pool width (worker processes).
+        cache_dir / use_cache: forwarded to :class:`Session`.
+        max_inflight: in-flight simulation budget (default ``8*workers``).
+        allow_shutdown: honor the ``shutdown`` op (CLI/CI convenience);
+            disable for servers that should only die by signal.
+    """
+
+    def __init__(self, host: str = protocol.DEFAULT_HOST,
+                 port: int = protocol.DEFAULT_PORT, *,
+                 workers: int = 2, cache_dir=None, use_cache: bool = True,
+                 max_inflight: int | None = None,
+                 allow_shutdown: bool = True) -> None:
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.allow_shutdown = allow_shutdown
+        self.session = Session(cache_dir, use_cache=use_cache)
+        self.stats = {"connections": 0, "jobs": 0, "points": 0,
+                      "cache_hits": 0, "dedup_hits": 0, "simulated": 0,
+                      "errors": 0}
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self._max_inflight = (8 * workers if max_inflight is None
+                              else max_inflight)
+        #: content hash -> (PointSpec, future resolving to (result, error))
+        self._inflight: dict[str, tuple[PointSpec, asyncio.Future]] = {}
+        self._pool: ShardPool | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._slots: asyncio.Semaphore | None = None
+        self._draining = False
+        self._stopped: asyncio.Event | None = None
+        self._active_jobs = 0
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # --- lifecycle --------------------------------------------------------
+
+    async def start(self) -> tuple[str, int]:
+        """Spawn the shard pool and start listening; returns (host, port)."""
+        self._loop = asyncio.get_running_loop()
+        self._slots = asyncio.Semaphore(self._max_inflight)
+        self._stopped = asyncio.Event()
+        self._pool = ShardPool(self.workers, self._on_worker_result)
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes (directly or via shutdown op)."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: finish in-flight work, then tear everything down."""
+        if self._draining:
+            await self._stopped.wait()
+            return
+        self._draining = True
+        self._server.close()
+        pending = [fut for _, fut in self._inflight.values()]
+        if pending:
+            await asyncio.gather(*(asyncio.shield(f) for f in pending),
+                                 return_exceptions=True)
+        # Let handlers flush their final result/done messages.  Wait as
+        # long as *some* job keeps finishing (a slow reader draining a
+        # big backlog is progress); only a job count frozen for a full
+        # window means a wedged peer, which gets force-closed.
+        last_active = self._active_jobs
+        stalled = self._loop.time()
+        while self._active_jobs:
+            if self._active_jobs != last_active:
+                last_active = self._active_jobs
+                stalled = self._loop.time()
+            elif self._loop.time() - stalled > 10.0:
+                break
+            await asyncio.sleep(0.025)
+        for writer in list(self._writers):
+            writer.close()
+        await self._loop.run_in_executor(None, self._pool.close)
+        await self._server.wait_closed()
+        self._stopped.set()
+
+    # --- worker plumbing --------------------------------------------------
+
+    def _on_worker_result(self, key: str, result: dict | None,
+                          error: str | None) -> None:
+        """Collector-thread callback; bridge onto the event loop."""
+        self._loop.call_soon_threadsafe(self._complete, key, result, error)
+
+    def _complete(self, key: str, result: dict | None,
+                  error: str | None) -> None:
+        entry = self._inflight.pop(key, None)
+        if entry is None:      # defensive: never let a callback raise and
+            return             # strand waiters -- every key completes once
+        self._slots.release()  # exactly one release per registration
+        point, future = entry
+        if error is None:
+            # Store through the session so later submits and in-process
+            # Sessions see this result: the memo synchronously (lookups
+            # after this callback must hit), the disk write off-loop so
+            # a storm of completions cannot stall response streaming.
+            fresh = SimResult.from_dict(result)
+            self.session.memoize(point, fresh)
+            self._loop.run_in_executor(None, self.session.persist,
+                                       point, fresh)
+        else:
+            self.stats["errors"] += 1
+        if not future.done():
+            future.set_result((result, error))
+
+    # --- request handling -------------------------------------------------
+
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.stats["connections"] += 1
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, protocol.error_response(
+                        "request line too long"))
+                    break
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line)
+                    op = protocol.check_request(message)
+                except protocol.ProtocolError as exc:
+                    await self._send(writer, protocol.error_response(
+                        str(exc), version=__version__))
+                    break       # a confused peer gets one loud error
+                if not await self._dispatch(op, message, writer):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass                # client went away; in-flight sims continue
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _dispatch(self, op: str, message: dict,
+                        writer: asyncio.StreamWriter) -> bool:
+        """Handle one request; returns False to end the connection."""
+        if op == "ping":
+            await self._send(writer, {
+                "ok": True, "op": "pong",
+                "protocol": protocol.PROTOCOL_VERSION,
+                "version": __version__, "salt": self.session.salt,
+                "workers": self.workers, "stats": self._stat_snapshot()})
+            return True
+        if op == "stats":
+            await self._send(writer, {"ok": True, "op": "stats",
+                                      "stats": self._stat_snapshot()})
+            return True
+        if op == "shutdown":
+            if not self.allow_shutdown:
+                await self._send(writer, protocol.error_response(
+                    "shutdown disabled on this server"))
+                return True
+            await self._send(writer, {"ok": True, "op": "bye"})
+            asyncio.ensure_future(self.stop())
+            return False
+        if op == "submit":
+            self._active_jobs += 1
+            try:
+                await self._handle_submit(message, writer)
+            finally:
+                self._active_jobs -= 1
+            return True
+        await self._send(writer, protocol.error_response(
+            f"unknown op {op!r}"))
+        return True
+
+    async def _handle_submit(self, message: dict,
+                             writer: asyncio.StreamWriter) -> None:
+        job = message.get("id", "")
+        if self._draining:
+            await self._send(writer, protocol.error_response(
+                "server is draining", id=job))
+            return
+        payloads = message.get("points")
+        if not isinstance(payloads, list) or not payloads:
+            await self._send(writer, protocol.error_response(
+                "submit needs a non-empty 'points' list", id=job))
+            return
+        try:
+            points = [PointSpec.from_payload(p) for p in payloads]
+        except (TypeError, ValueError, KeyError) as exc:
+            await self._send(writer, protocol.error_response(
+                f"bad point payload: {exc}", id=job))
+            return
+
+        self.stats["jobs"] += 1
+        self.stats["points"] += len(points)
+        await self._send(writer, {"ok": True, "op": "accepted", "id": job,
+                                  "points": len(points)})
+
+        # Classify every point: served from cache, attached to an
+        # in-flight duplicate, or owned (we will simulate it).
+        counts = {"cache": 0, "dedup": 0, "sim": 0}
+        waiters: list[tuple[int, PointSpec, str, asyncio.Future]] = []
+        batches: dict[tuple, list[tuple[str, dict]]] = {}
+        for seq, point in enumerate(points):
+            key = self.session.key_for(point)
+            while True:
+                cached = self.session.lookup(point)
+                if cached is not None:
+                    source = "cache"
+                    # Whatever layer replayed it (session memo or disk),
+                    # what goes over the wire is not this client's fresh
+                    # measurement -- mark the copy so the recorded
+                    # wall-clock can never be read as one.
+                    data = cached.to_dict()
+                    data.setdefault("meta", {})["cache_hit"] = True
+                    future = self._loop.create_future()
+                    future.set_result((data, None))
+                    break
+                if key in self._inflight:
+                    source = "dedup"
+                    future = self._inflight[key][1]
+                    break
+                # Backpressure: block the scan (and this client) until a
+                # simulation slot frees up, bounding worker queues.  Any
+                # batch collected so far must reach the workers *before*
+                # blocking, or the slots it holds could never free.  The
+                # await yields the loop, so another client may cache or
+                # register this very point meanwhile -- reclassify after
+                # waking (classification and registration must be atomic,
+                # i.e. no await between them) instead of double-booking.
+                if self._slots.locked():
+                    self._flush(batches)
+                await self._slots.acquire()
+                if (key in self._inflight
+                        or self.session.lookup(point) is not None):
+                    self._slots.release()
+                    continue
+                source = "sim"
+                future = self._loop.create_future()
+                self._inflight[key] = (point, future)
+                batches.setdefault(build_key(point.payload()), []).append(
+                    (key, point.payload()))
+                break
+            counts[source] += 1
+            self.stats[{"cache": "cache_hits", "dedup": "dedup_hits",
+                        "sim": "simulated"}[source]] += 1
+            waiters.append((seq, point, source, future))
+
+        self._flush(batches)
+
+        async def deliver(seq, point, source, future):
+            result, error = await asyncio.shield(future)
+            return seq, point, source, result, error
+
+        tasks = [asyncio.ensure_future(deliver(*w)) for w in waiters]
+        try:
+            for task in asyncio.as_completed(tasks):
+                seq, point, source, result, error = await task
+                response = {"ok": error is None, "op": "result", "id": job,
+                            "seq": seq, "source": source,
+                            "point": point.payload()}
+                if error is None:
+                    response["result"] = result
+                else:
+                    response["error"] = error
+                await self._send(writer, response)
+        finally:
+            for task in tasks:
+                task.cancel()
+        await self._send(writer, {
+            "ok": True, "op": "done", "id": job, "points": len(points),
+            "cache_hits": counts["cache"], "dedup_hits": counts["dedup"],
+            "simulated": counts["sim"]})
+
+    # --- helpers ----------------------------------------------------------
+
+    def _flush(self, batches: dict[tuple, list[tuple[str, dict]]]) -> None:
+        """Queue the collected same-build batches (one hop each) and reset."""
+        for batch in batches.values():
+            self._pool.submit(batch)
+        batches.clear()
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    message: dict) -> None:
+        writer.write(protocol.encode(message))
+        await writer.drain()
+
+    def _stat_snapshot(self) -> dict:
+        cache = self.session.cache
+        # Unsorted count: ping/stats run on the event loop, and a
+        # long-lived shared cache can hold many thousands of entries.
+        entries = (sum(1 for _ in cache.directory.glob("*.json"))
+                   if cache is not None and cache.directory.is_dir() else 0)
+        return dict(self.stats, inflight=len(self._inflight),
+                    draining=self._draining,
+                    workers_alive=self._pool.alive() if self._pool else 0,
+                    cache_entries=entries)
+
+
+async def run_server(server: SimServer, ready=None) -> None:
+    """Start a server and serve until it is stopped.
+
+    Args:
+        ready: optional event set once the socket is bound -- anything
+            with a ``set()`` method, e.g. a ``threading.Event`` when the
+            caller boots the loop in a background thread (the test and
+            load-bench harnesses) and needs the real port before
+            connecting.
+    """
+    await server.start()
+    if ready is not None:
+        ready.set()
+    await server.serve_forever()

@@ -1,0 +1,150 @@
+"""Hash-sharded simulation worker pool with per-shard build affinity.
+
+Every :class:`~repro.exp.spec.PointSpec` belongs to exactly one shard,
+chosen by a stable content hash of its *build identity* -- ``(kind,
+target, isa, scale)`` -- modulo the pool width.  All points that share a
+build therefore land on the same worker process, whose per-process
+:data:`repro.exp.engine._BUILD_MEMO` builds and verifies the trace once
+and then serves every sibling point from memory.  The server batches
+same-build points into one task for the same reason: the worker runs the
+batch back to back, so at most the *first* point of a build pays the
+build-and-verify cost.
+
+Workers receive task batches over a per-shard queue and report each
+point individually on one shared result queue as soon as it finishes,
+so results stream back in completion order.  A collector thread drains
+the result queue and hands ``(key, result_dict, error)`` triples to the
+callback supplied by the owner (the asyncio server bridges them onto its
+event loop with ``call_soon_threadsafe``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import threading
+import traceback
+
+_STOP = None      # queue sentinel
+
+
+def build_key(payload: dict) -> tuple:
+    """The build identity of a point payload: what :func:`built_kernel` /
+    :func:`built_app` memoize on."""
+    return (payload["kind"], payload["target"], payload["isa"],
+            payload.get("scale", 1))
+
+
+def shard_index(key: tuple, shards: int) -> int:
+    """Stable shard assignment for a build key.
+
+    Derived from sha256 of the repr, never :func:`hash`, so the mapping
+    survives hash randomization and is identical in every process --
+    clients and tests can predict placement.
+    """
+    digest = hashlib.sha256(repr(key).encode()).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def _shard_worker(task_queue, result_queue) -> None:
+    """Worker-process main loop: execute point batches, stream results."""
+    import signal
+
+    from ..exp.engine import execute_point
+    from ..exp.spec import PointSpec
+
+    # Ctrl-C on `repro serve` delivers SIGINT to the whole foreground
+    # process group; the server's own handler drives the graceful drain,
+    # and workers must keep simulating through it rather than failing
+    # their in-flight points with KeyboardInterrupt.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+    while True:
+        task = task_queue.get()
+        if task is _STOP:
+            break
+        for key, payload in task:
+            try:
+                result = execute_point(PointSpec.from_payload(payload))
+                result_queue.put((key, result.to_dict(), None))
+            except BaseException as exc:   # report, never kill the shard
+                detail = "".join(
+                    traceback.format_exception_only(type(exc), exc)).strip()
+                result_queue.put((key, None, detail))
+
+
+class ShardPool:
+    """A fixed pool of simulation worker processes.
+
+    Args:
+        workers: shard count (one process per shard).
+        on_result: called as ``on_result(key, result_dict, error)`` from
+            the collector thread for every finished point.  Exactly one
+            of ``result_dict`` / ``error`` is non-``None``.
+    """
+
+    def __init__(self, workers: int, on_result) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = workers
+        self._on_result = on_result
+        ctx = multiprocessing.get_context()
+        self._results = ctx.SimpleQueue()
+        self._tasks = [ctx.SimpleQueue() for _ in range(workers)]
+        self._procs = [
+            ctx.Process(target=_shard_worker, args=(q, self._results),
+                        daemon=True, name=f"repro-shard-{i}")
+            for i, q in enumerate(self._tasks)]
+        for proc in self._procs:
+            proc.start()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-shard-collector", daemon=True)
+        self._collector.start()
+        self._closed = False
+
+    # --- submission -------------------------------------------------------
+
+    def shard_for(self, payload: dict) -> int:
+        return shard_index(build_key(payload), self.workers)
+
+    def submit(self, batch: list[tuple[str, dict]]) -> int:
+        """Queue one same-build batch of ``(key, payload)``; returns the
+        shard it was routed to.  Callers group by :func:`build_key` --
+        the pool routes by the first element and asserts homogeneity.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        keys = {build_key(payload) for _, payload in batch}
+        if len(keys) != 1:
+            raise ValueError(f"batch mixes builds: {sorted(keys)}")
+        shard = shard_index(next(iter(keys)), self.workers)
+        self._tasks[shard].put(batch)
+        return shard
+
+    # --- lifecycle --------------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            item = self._results.get()
+            if item is _STOP:
+                break
+            self._on_result(*item)
+
+    def alive(self) -> int:
+        """How many worker processes are currently alive."""
+        return sum(proc.is_alive() for proc in self._procs)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop workers after their queued tasks finish and join them."""
+        if self._closed:
+            return
+        self._closed = True
+        for queue in self._tasks:
+            queue.put(_STOP)
+        for proc in self._procs:
+            proc.join(timeout)
+            if proc.is_alive():     # refused to drain: don't hang shutdown
+                proc.terminate()
+                proc.join(5)
+        self._results.put(_STOP)
+        self._collector.join(timeout)

@@ -150,6 +150,39 @@ def test_result_cache_clear_sweeps_tmp_orphans(tmp_path):
     assert not list(tmp_path.iterdir())
 
 
+def test_result_cache_crash_mid_write_leaves_no_torn_entry(tmp_path,
+                                                           monkeypatch):
+    """A writer dying mid-``put`` must never corrupt the published entry.
+
+    The atomic write protocol (temp file + ``os.replace``) means the
+    entry file either holds the complete old record or the complete new
+    one; the half-written bytes only ever live in a ``*.tmp`` file that
+    readers ignore and ``clear`` sweeps.
+    """
+    cache = ResultCache(tmp_path)
+    cache.put("k", {"result": {"cycles": 1}})
+
+    def dies_mid_write(obj, fh, **kwargs):
+        fh.write('{"version": 1, "result": {"cyc')       # torn JSON
+        fh.flush()
+        raise KeyboardInterrupt("writer killed mid-write")
+
+    monkeypatch.setattr(json, "dump", dies_mid_write)
+    with pytest.raises(KeyboardInterrupt):
+        cache.put("k", {"result": {"cycles": 2}})
+    monkeypatch.undo()
+
+    # The old entry is fully intact and is the only entry on disk.
+    assert cache.get("k")["result"] == {"cycles": 1}
+    assert [p.name for p in cache.entries()] == ["k.json"]
+
+    # Even a hard kill (no chance to unlink the temp file) leaves only a
+    # *.tmp orphan, which is never visible as an entry and never parsed.
+    (tmp_path / "killed456.tmp").write_text('{"version": 1, "result')
+    assert cache.get("killed456") is None
+    assert [p.name for p in cache.entries()] == ["k.json"]
+
+
 # --- Session: hit/miss accounting and invalidation ------------------------------
 
 def test_session_cache_hit_and_miss(tmp_path):
@@ -183,6 +216,30 @@ def test_session_use_cache_false_still_memoizes(tmp_path):
     assert session.cache is None
     assert (session.hits, session.misses) == (1, 1)
     assert not list(tmp_path.glob("*.json"))
+
+
+def test_cache_replay_marks_meta_cache_hit(tmp_path):
+    """Disk replays carry ``meta["cache_hit"]``; fresh runs never do."""
+    point = PointSpec(**KERNEL_POINT)
+    s1 = Session(tmp_path, salt="s")
+    fresh = s1.run_point(point)
+    assert "cache_hit" not in fresh.meta
+    # A memo replay in the same session is still this process's own
+    # measurement; only the *persistent* layer marks the result.
+    assert "cache_hit" not in s1.run_point(point).meta
+
+    s2 = Session(tmp_path, salt="s")
+    replay = s2.run_point(point)
+    assert replay.meta["cache_hit"] is True
+    assert replay == fresh        # meta is excluded from equality
+    assert replay.meta["sim_seconds"] == fresh.meta["sim_seconds"]
+
+    # Re-storing a replayed result never persists the marker itself.
+    s2.store(point, replay)
+    entry = s2.cache.get(s2.key_for(point))
+    assert "cache_hit" not in entry["result"]["meta"]
+    assert Session(tmp_path, salt="s").run_point(point).meta["cache_hit"] \
+        is True
 
 
 def test_default_salt_is_source_fingerprint():

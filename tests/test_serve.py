@@ -1,0 +1,266 @@
+"""Tests for the serving layer: protocol, sharding, the live service.
+
+The service tests boot a real :class:`~repro.serve.server.SimServer`
+(with real worker processes) on an ephemeral port inside a background
+thread, and talk to it with the synchronous :class:`~repro.serve.Client`
+from the test thread -- the same topology as ``repro serve`` plus
+``repro submit``, scaled down.
+
+The headline test replays the golden mini-grid of
+``tests/test_golden_digest.py`` from two concurrent clients and checks
+every served result against the pinned seed digests: the service is
+bit-identical to an in-process session, and each unique point simulates
+exactly once no matter how many clients ask.
+"""
+
+import contextlib
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import __version__
+from repro.exp import PointSpec, Session
+from repro.serve import Client, ServeError, SimServer, run_server
+from repro.serve import protocol
+from repro.serve.shard import build_key, shard_index
+
+import test_golden_digest as golden
+
+
+# --- protocol -----------------------------------------------------------------
+
+def test_protocol_encode_decode_roundtrip():
+    message = {"op": "submit", "protocol": protocol.PROTOCOL_VERSION,
+               "points": [{"target": "idct"}]}
+    line = protocol.encode(message)
+    assert line.endswith(b"\n") and b"\n" not in line[:-1]
+    assert protocol.decode(line) == message
+
+
+def test_protocol_decode_rejects_garbage():
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode(b"not json\n")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode(b"[1, 2, 3]\n")        # JSON, but not an object
+
+
+def test_protocol_check_request_version_handshake():
+    assert protocol.check_request(protocol.request("ping")) == "ping"
+    with pytest.raises(protocol.ProtocolError, match="protocol mismatch"):
+        protocol.check_request({"op": "ping", "protocol": 99})
+    with pytest.raises(protocol.ProtocolError):
+        protocol.check_request({"protocol": protocol.PROTOCOL_VERSION})
+
+
+# --- sharding -----------------------------------------------------------------
+
+def test_build_key_groups_points_sharing_a_build():
+    a = PointSpec(kind="kernel", target="idct", isa="mom", way=2).payload()
+    b = PointSpec(kind="kernel", target="idct", isa="mom", way=8,
+                  latency=50).payload()
+    c = PointSpec(kind="kernel", target="idct", isa="mmx", way=2).payload()
+    assert build_key(a) == build_key(b)        # way/latency don't rebuild
+    assert build_key(a) != build_key(c)        # a different ISA does
+
+
+def test_shard_index_is_stable_and_in_range():
+    key = ("kernel", "idct", "mom", 1)
+    for shards in (1, 2, 4, 7):
+        first = shard_index(key, shards)
+        assert 0 <= first < shards
+        assert shard_index(key, shards) == first
+
+
+# --- live service harness -----------------------------------------------------
+
+@contextlib.contextmanager
+def live_server(tmp_path, **kwargs):
+    """A real server on an ephemeral port, torn down gracefully."""
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("cache_dir", tmp_path / "cache")
+    server = SimServer("127.0.0.1", 0, **kwargs)
+    started = threading.Event()
+
+    def runner():
+        import asyncio
+
+        asyncio.run(run_server(server, started))
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(60), "server failed to start"
+    try:
+        yield server
+    finally:
+        try:
+            with Client("127.0.0.1", server.port, timeout=60) as client:
+                client.shutdown()
+        except (OSError, ServeError):
+            pass                       # already stopped by the test
+        thread.join(60)
+        assert not thread.is_alive(), "server failed to drain"
+
+
+MINI = tuple(
+    PointSpec(kind="kernel", target="idct", isa=isa, way=way)
+    for isa in ("mmx", "mom") for way in (2, 4))
+
+
+def test_ping_handshake_reports_version_salt_and_workers(tmp_path):
+    with live_server(tmp_path) as server:
+        with Client("127.0.0.1", server.port, timeout=60) as client:
+            pong = client.ping()
+    assert pong["ok"] and pong["op"] == "pong"
+    assert pong["protocol"] == protocol.PROTOCOL_VERSION
+    assert pong["version"] == __version__
+    assert pong["salt"] == server.session.salt
+    assert pong["workers"] == 2
+    assert pong["stats"]["workers_alive"] == 2
+
+
+def test_mismatched_protocol_fails_loudly(tmp_path):
+    with live_server(tmp_path) as server:
+        with socket.create_connection(("127.0.0.1", server.port),
+                                      timeout=60) as sock:
+            sock.sendall(json.dumps(
+                {"op": "ping", "protocol": 99}).encode() + b"\n")
+            reply = json.loads(sock.makefile().readline())
+    assert reply["ok"] is False
+    assert "protocol mismatch" in reply["error"]
+    assert str(protocol.PROTOCOL_VERSION) in reply["error"]
+
+
+def test_served_results_match_in_process_session(tmp_path):
+    expected = Session(tmp_path / "baseline", jobs=1).run(MINI)
+    with live_server(tmp_path) as server:
+        with Client("127.0.0.1", server.port, timeout=120) as client:
+            served = client.run(MINI)
+            again = client.run(MINI)
+    assert served == expected
+    assert again == expected
+    assert server.stats["simulated"] == len(MINI)
+    assert server.stats["cache_hits"] == len(MINI)     # the second run
+    # Fresh simulations stream unmarked; every replay -- even out of the
+    # server's own memo -- carries the cache_hit marker on the wire.
+    assert not any(r.meta.get("cache_hit") for r in served.values())
+    assert all(r.meta.get("cache_hit") for r in again.values())
+
+
+def test_submit_streams_results_then_done(tmp_path):
+    with live_server(tmp_path) as server:
+        with Client("127.0.0.1", server.port, timeout=120) as client:
+            messages = list(client.submit_iter(MINI))
+    kinds = [m["op"] for m in messages]
+    assert kinds[-1] == "done"
+    assert kinds[:-1].count("result") == len(MINI)
+    assert kinds[0] == "accepted"
+    done = messages[-1]
+    assert done["simulated"] == len(MINI)
+    assert done["cache_hits"] == done["dedup_hits"] == 0
+    seqs = sorted(m["seq"] for m in messages if m["op"] == "result")
+    assert seqs == list(range(len(MINI)))
+
+
+def test_failed_point_streams_error_and_shard_survives(tmp_path):
+    bad = PointSpec(kind="kernel", target="no_such_kernel", isa="mom", way=4)
+    with live_server(tmp_path) as server:
+        with Client("127.0.0.1", server.port, timeout=120) as client:
+            messages = list(client.submit_iter([bad]))
+            failures = [m for m in messages if m["op"] == "result"]
+            assert len(failures) == 1 and failures[0]["ok"] is False
+            assert "no_such_kernel" in failures[0]["error"]
+            with pytest.raises(ServeError, match="no_such_kernel"):
+                client.run([bad])
+            # The shard that hit the error still serves good points.
+            ok = client.run(MINI[:1])
+            assert len(ok) == 1
+            assert client.stats()["workers_alive"] == 2
+
+
+def test_submit_rejects_malformed_points(tmp_path):
+    with live_server(tmp_path) as server:
+        with Client("127.0.0.1", server.port, timeout=60) as client:
+            with pytest.raises(ServeError, match="bad point payload"):
+                list(client.submit_iter([{"kind": "kernel", "way": 3,
+                                          "target": "idct", "isa": "mom"}]))
+        with Client("127.0.0.1", server.port, timeout=60) as client:
+            with pytest.raises(ServeError, match="points"):
+                list(client.submit_iter([]))
+
+
+def test_cache_round_trip_with_in_process_session(tmp_path):
+    """The service and Session share one store, in both directions."""
+    cache_dir = tmp_path / "cache"
+    warm = Session(cache_dir).run(MINI[:2])                # pre-warm 2 points
+    with live_server(tmp_path, cache_dir=cache_dir) as server:
+        with Client("127.0.0.1", server.port, timeout=120) as client:
+            served = client.run(MINI)
+        assert server.stats["cache_hits"] == 2
+        assert server.stats["simulated"] == 2
+    assert {p: served[p] for p in MINI[:2]} == warm
+    after = Session(cache_dir)
+    for point in MINI:
+        replay = after.lookup(point)
+        assert replay is not None and replay == served[point]
+        assert replay.meta["cache_hit"] is True
+
+
+# --- the golden mini-grid, served ---------------------------------------------
+
+def _golden_point(kernel, isa, way, memory_label) -> PointSpec:
+    """The PointSpec equivalent of one golden mini-grid coordinate."""
+    cache_name = {"alpha": "conventional", "mmx": "conventional",
+                  "mdmx": "conventional", "mom": "multiaddress"}
+    if memory_label == "perfect":
+        return PointSpec(kind="kernel", target=kernel, isa=isa, way=way)
+    if memory_label == "latency50":
+        return PointSpec(kind="kernel", target=kernel, isa=isa, way=way,
+                         latency=50)
+    memory = (cache_name[isa] if memory_label == "cache" else memory_label)
+    return PointSpec(kind="kernel", target=kernel, isa=isa, way=way,
+                     memory=memory)
+
+
+def test_two_concurrent_clients_reproduce_golden_digests(tmp_path):
+    """Service determinism: the full golden mini-grid, two clients at once.
+
+    Every digest streamed to either client must equal the pinned seed
+    digest, and each unique point must be simulated exactly once across
+    both clients (the rest answered by cache or in-flight dedup).
+    """
+    coords = list(golden.grid_points())
+    points = [_golden_point(*c) for c in coords]
+    outcomes: dict[str, dict] = {}
+    errors: list[BaseException] = []
+
+    def one_client(name, port):
+        try:
+            with Client("127.0.0.1", port, timeout=600) as client:
+                outcomes[name] = client.run(points)
+        except BaseException as exc:       # surfaced by the main thread
+            errors.append(exc)
+
+    with live_server(tmp_path, workers=2) as server:
+        threads = [threading.Thread(target=one_client,
+                                    args=(f"c{i}", server.port))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(600)
+        stats = dict(server.stats)
+    assert not errors, errors
+    assert set(outcomes) == {"c0", "c1"}
+
+    for name, results in outcomes.items():
+        for coord, point in zip(coords, points):
+            digest = golden.result_digest(results[point])
+            assert digest == golden.GOLDEN_DIGESTS[coord], (name, coord)
+
+    # 2 x N submitted points: N simulations, N cache-or-dedup answers.
+    unique = len(points)
+    assert stats["simulated"] == unique
+    assert stats["cache_hits"] + stats["dedup_hits"] == unique
+    assert stats["errors"] == 0
