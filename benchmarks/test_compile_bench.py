@@ -1,0 +1,79 @@
+"""Compile-path benchmark: IR bind + lower wall-clock per kernel x ISA.
+
+Times the vectorizing compiler itself -- workload binding plus the
+lowering pass, i.e. everything between a kernel description and a
+simulatable trace -- for every compiler-known kernel (the three
+digest-pinned mirrors and the three compiler-only kernels) on all four
+ISAs.  Emits ``benchmarks/BENCH_compile.json`` next to the core/serve
+artifacts so the build-side cost of the compilation layer is tracked
+run over run.
+
+Set ``REPRO_BENCH_SMOKE=1`` (CI) to shrink the workload; the JSON then
+carries ``"smoke": true`` so trajectories are not cross-compared.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.kernels import ISAS, KERNELS
+from repro.vc import COMPILED, compile_kernel
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+SCALE = 1 if SMOKE else 2
+REPS = 2 if SMOKE else 3
+OUTPUT = Path(__file__).parent / "BENCH_compile.json"
+
+_results: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write the accumulated measurements once the module finishes."""
+    yield
+    if not _results:
+        return
+    total_instrs = sum(row["instructions"]
+                       for per_isa in _results.values()
+                       for row in per_isa.values())
+    total_seconds = sum(row["build_seconds"]
+                        for per_isa in _results.values()
+                        for row in per_isa.values())
+    OUTPUT.write_text(json.dumps({
+        "benchmark": "compile",
+        "scale": SCALE,
+        "smoke": SMOKE,
+        "kernels": sorted(_results),
+        "total_instructions": total_instrs,
+        "total_build_seconds": round(total_seconds, 4),
+        "instructions_per_second": (round(total_instrs / total_seconds)
+                                    if total_seconds else None),
+        "results": _results,
+    }, indent=2) + "\n")
+    print(f"\ncompile bench ({total_instrs} instructions in "
+          f"{total_seconds:.2f}s) -> {OUTPUT}")
+
+
+@pytest.mark.parametrize("kernel", sorted(COMPILED))
+@pytest.mark.parametrize("isa", ISAS)
+def test_compile_speed(kernel, isa):
+    record = COMPILED[kernel]
+    workload = KERNELS[kernel].make_workload(SCALE)
+    best = None
+    built = None
+    for _ in range(REPS):
+        start = time.perf_counter()
+        binding = record.bind(workload)
+        built = compile_kernel(record.ir, isa, binding, record.output_key)
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    assert len(built.trace) > 0
+    _results.setdefault(kernel, {})[isa] = {
+        "build_seconds": round(best, 6),
+        "instructions": len(built.trace),
+        "instructions_per_second": (round(len(built.trace) / best)
+                                    if best else None),
+    }

@@ -131,6 +131,36 @@ def compare(nest: LoopNest) -> dict[str, Coverage]:
     }
 
 
+def scalar_baseline(nest: LoopNest) -> Coverage:
+    """The plain-superscalar baseline: one element per instruction."""
+    return Coverage(
+        paradigm="scalar",
+        elements_per_instruction=1,
+        useful_register_bits=nest.elem_bits,
+        register_bits=64,
+    )
+
+
+def coverage_for_isa(nest: LoopNest, isa: str) -> Coverage:
+    """Coverage oracle of the vectorizing compiler (:mod:`repro.vc`).
+
+    Maps the four simulated ISAs onto the Section 2 paradigms: this is
+    what ``repro kernels`` reports per compiled kernel, and what makes
+    the analytical model *executable* -- the lowering passes realize the
+    tiling this oracle predicts (MDMX shares MMX's one-row coverage; its
+    accumulators change the reduction cost, not the loop coverage).
+    """
+    import dataclasses
+
+    if isa == "alpha":
+        return scalar_baseline(nest)
+    if isa in ("mmx", "mdmx"):
+        return dataclasses.replace(mmx_like(nest), paradigm=isa)
+    if isa == "mom":
+        return mom_matrix(nest)
+    raise KeyError(f"unknown ISA {isa!r}")
+
+
 def dist1_nest(length: int = 352) -> LoopNest:
     """The paper's running example: a 16x16 SAD inside a ``length``-wide
     frame (rows are 16 bytes apart only if length == 16)."""

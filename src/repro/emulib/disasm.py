@@ -9,6 +9,9 @@ for documentation, and by the fetch-pressure study.
 
 from __future__ import annotations
 
+import re
+from dataclasses import dataclass, field
+
 from ..isa.model import InstrClass, RegPool
 from .trace import DynInstr, Trace, reg_index, reg_pool
 
@@ -46,6 +49,76 @@ def format_instr(instr: DynInstr) -> str:
     if notes:
         parts.append("; " + " ".join(notes))
     return "  ".join(parts)
+
+
+@dataclass
+class ParsedInstr:
+    """The information one :func:`format_instr` line carries.
+
+    Only what the listing renders round-trips: a strided access prints
+    ``@addr+stride*vl`` (so ``nbytes`` is not recoverable), a unit access
+    prints ``@addr/nbytes`` (so a dormant stride is not), and register
+    operands print as one destination-then-source list.
+    """
+
+    name: str
+    operands: tuple[str, ...] = ()
+    addr: int | None = None
+    nbytes: int | None = None
+    stride: int | None = None
+    vl: int = 1
+    taken: bool | None = None
+    site: int | None = None
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+
+_OPERAND_RE = re.compile(r"^(?:r|f|m|acc)\d+$")
+_ADDR_UNIT_RE = re.compile(r"^@(0x[0-9a-f]+)/(\d+)$")
+_ADDR_STRIDE_RE = re.compile(r"^@(0x[0-9a-f]+)\+(-?\d+)\*(\d+)$")
+
+
+def parse_instr(line: str) -> ParsedInstr:
+    """Parse one :func:`format_instr` line back into its fields.
+
+    Inverse of the renderer up to the information it prints (see
+    :class:`ParsedInstr`); raises ``ValueError`` on lines it cannot
+    account for, so tests catch format drift in either direction.
+    """
+    line = line.strip()
+    if not line:
+        raise ValueError("empty disassembly line")
+    body, _, notes_text = line.partition(";")
+    fields = body.split()
+    if not fields:
+        raise ValueError(f"no mnemonic in disassembly line {line!r}")
+    name = fields[0]
+    operands = tuple(tok.rstrip(",") for tok in fields[1:])
+    for tok in operands:
+        if not _OPERAND_RE.match(tok):
+            raise ValueError(f"bad operand {tok!r} in {line!r}")
+    parsed = ParsedInstr(name=name, operands=operands,
+                         notes=tuple(notes_text.split()))
+    for note in parsed.notes:
+        unit = _ADDR_UNIT_RE.match(note)
+        strided = _ADDR_STRIDE_RE.match(note)
+        if unit:
+            parsed.addr = int(unit.group(1), 16)
+            parsed.nbytes = int(unit.group(2))
+        elif strided:
+            parsed.addr = int(strided.group(1), 16)
+            parsed.stride = int(strided.group(2))
+            parsed.vl = int(strided.group(3))
+        elif note.startswith("vl="):
+            parsed.vl = int(note[3:])
+        elif note == "taken":
+            parsed.taken = True
+        elif note == "not-taken":
+            parsed.taken = False
+        elif note.startswith("site="):
+            parsed.site = int(note[5:])
+        else:
+            raise ValueError(f"unrecognized note {note!r} in {line!r}")
+    return parsed
 
 
 def disassemble(trace: Trace, start: int = 0, count: int | None = None) -> str:

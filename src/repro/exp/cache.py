@@ -17,6 +17,10 @@ from pathlib import Path
 #: Bump when the entry layout changes; old entries become misses.
 ENTRY_VERSION = 1
 
+#: Minimum age before :meth:`ResultCache.prune` may sweep a ``*.tmp``
+#: file: any younger one may belong to a writer mid-atomic-rename.
+TMP_GRACE_SECONDS = 60.0
+
 
 class ResultCache:
     """Directory-backed map from cache key to a JSON-safe record."""
@@ -68,6 +72,45 @@ class ResultCache:
 
     def size_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.entries())
+
+    def prune(self, max_age_seconds: float, *,
+              now: float | None = None) -> int:
+        """Delete entries whose file is older than ``max_age_seconds``.
+
+        Age is judged by mtime (``put`` rewrites the file, refreshing
+        it), so recently revalidated points survive.  Safe to run while
+        writers are active: entries are removed with a single ``unlink``
+        (readers holding an open handle keep their snapshot; late
+        ``get``\\ s see a clean miss), and ``*.tmp`` files are swept only
+        once older than both the requested age and
+        :data:`TMP_GRACE_SECONDS` -- a younger temp file belongs to a
+        live writer between ``mkstemp`` and its atomic rename, and
+        deleting it would break the rename.  Returns how many entries
+        were removed (orphans don't count).
+        """
+        import time
+
+        if max_age_seconds < 0:
+            raise ValueError("max_age_seconds must be >= 0")
+        moment = time.time() if now is None else now
+        cutoff = moment - max_age_seconds
+        removed = 0
+        for path in self.entries():
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:      # raced with a writer/other pruner: skip
+                pass
+        tmp_cutoff = moment - max(max_age_seconds, TMP_GRACE_SECONDS)
+        if self.directory.is_dir():
+            for orphan in self.directory.glob("*.tmp"):
+                try:
+                    if orphan.stat().st_mtime <= tmp_cutoff:
+                        orphan.unlink()
+                except OSError:
+                    pass
+        return removed
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed.

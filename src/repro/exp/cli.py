@@ -9,9 +9,12 @@ Examples::
     repro latency --way 4
     repro fetch-pressure
     repro sweep figure5 --jobs 8       # raw grid, parallel
+    repro sweep vc-kernels             # the compiler-built kernels
     repro sweep --kernels idct,motion2 --isas mom --ways 1,2,4,8
+    repro kernels                      # registry + per-ISA DLP coverage
     repro cache                        # show cache location / size
     repro cache --clear
+    repro cache --prune 7d             # evict entries older than a week
     repro serve --workers 4            # boot the simulation service
     repro ping                         # handshake with a running server
     repro submit figure5               # run a sweep through the service
@@ -194,6 +197,81 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+#: Age-suffix multipliers accepted by ``repro cache --prune``.
+_AGE_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400}
+
+
+def _parse_age(text: str) -> float:
+    """``"300"``, ``"90s"``, ``"30m"``, ``"12h"`` or ``"7d"`` -> seconds."""
+    original = text
+    text = text.strip().lower()
+    unit = 1
+    if text and text[-1] in _AGE_UNITS:
+        unit = _AGE_UNITS[text[-1]]
+        text = text[:-1]
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad age {original!r}; use seconds or a s/m/h/d suffix "
+            f"(e.g. 7d)")
+    if not math.isfinite(value):
+        raise ValueError(f"bad age {original!r}; must be finite")
+    if value < 0:
+        raise ValueError("age must be >= 0")
+    return value * unit
+
+
+def _cmd_kernels(args) -> int:
+    from ..apps import APP_ORDER, APPS
+    from ..core.vectorize import coverage_for_isa
+    from ..kernels import ISAS, KERNEL_ORDER, KERNELS
+    from ..vc import COMPILED
+
+    order = [k for k in KERNEL_ORDER if k in KERNELS]
+    order += sorted(k for k in KERNELS if k not in order)
+    print(f"{len(KERNELS)} kernels, {len(APPS)} applications; "
+          f"builders: hand = hand-vectorized, vc = compiled from IR\n")
+    header = (f"{'kernel':14s} {'isa':6s} {'builder':14s} "
+              f"{'elems/instr':>11s} {'util':>6s}")
+    print(header)
+    print("-" * len(header))
+    for name in order:
+        spec = KERNELS[name]
+        record = COMPILED.get(name)
+        nest = None
+        if record is not None:
+            binding = record.bind(spec.make_workload(1))
+            primary = record.ir.buffers[0].name
+            nest = record.ir.nest(binding.buffers[primary].row_stride)
+        for i, isa in enumerate(ISAS):
+            builder = spec.builders.get(isa)
+            if getattr(builder, "compiled", False):
+                origin = "vc"
+            elif record is not None:
+                origin = "hand (+mirror)"
+            else:
+                origin = "hand"
+            if nest is not None:
+                cov = coverage_for_isa(nest, isa)
+                cover = f"{cov.elements_per_instruction:>11d}"
+                util = f"{cov.utilization:>6.0%}"
+            else:
+                cover, util = f"{'-':>11s}", f"{'-':>6s}"
+            label = name if i == 0 else ""
+            print(f"{label:14s} {isa:6s} {origin:14s} {cover} {util}")
+    from ..apps import APP_ISAS
+
+    print(f"\n{'application':14s} {'isas':20s} description")
+    print("-" * 60)
+    for name in APP_ORDER:
+        app = APPS[name]
+        print(f"{name:14s} {','.join(APP_ISAS):20s} {app.description}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     session = Session(args.cache_dir)
     cache = session.cache
@@ -203,6 +281,12 @@ def _cmd_cache(args) -> int:
     if args.clear:
         removed = cache.clear()
         print(f"cleared {removed} cached results from {cache.directory}")
+        return 0
+    if args.prune is not None:
+        age = _parse_age(args.prune)
+        removed = cache.prune(age)
+        print(f"pruned {removed} cached results older than {args.prune} "
+              f"from {cache.directory} ({len(cache)} remain)")
         return 0
     print(f"cache directory: {cache.directory}")
     print(f"entries:         {len(cache)}")
@@ -407,8 +491,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
 
-    p = sub.add_parser("cache", help="inspect or clear the result cache")
+    p = sub.add_parser("kernels",
+                       help="list kernels/apps with per-ISA DLP coverage")
+    p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser("cache", help="inspect, clear or prune the result "
+                                     "cache")
     p.add_argument("--clear", action="store_true", help="delete all entries")
+    p.add_argument("--prune", metavar="AGE", default=None,
+                   help="evict entries older than AGE (seconds, or with a "
+                        "s/m/h/d suffix, e.g. 7d)")
     p.add_argument("--cache-dir", default=None)
     p.set_defaults(func=_cmd_cache)
 

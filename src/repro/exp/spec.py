@@ -139,10 +139,15 @@ def _presets() -> dict[str, SweepSpec]:
     # registries populate as a side effect of importing their packages
     # (they never import repro.exp, so there is no cycle).
     from ..apps import APP_ORDER
-    from ..kernels import KERNEL_ORDER
+    from ..kernels import KERNEL_ORDER, VC_KERNEL_ORDER
 
     kernel_isas = ("alpha", "mmx", "mdmx", "mom")
     return {
+        # Compiler-built kernels (repro.vc): the full ISA x width grid,
+        # same shape as figure5 but over the new workloads.
+        "vc-kernels": SweepSpec(
+            name="vc-kernels", kind="kernel", targets=VC_KERNEL_ORDER,
+            isas=kernel_isas, ways=MACHINE_WAYS),
         # Figure 5: per-kernel speedups, idealized 1-cycle memory.
         "figure5": SweepSpec(
             name="figure5", kind="kernel", targets=KERNEL_ORDER,

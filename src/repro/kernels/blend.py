@@ -1,0 +1,85 @@
+"""blend: constant-alpha compositing of two images (compiler-built).
+
+``out = (A*src0 + (255-A)*src1 + 128) >> 8`` per pixel -- the video
+cross-fade / graphics compositing hot loop from the wider MPSoC workload
+space (Wolf's survey).  The expression exercises the IR's widening
+multiply, constant broadcast and shift: the packed lowerings promote the
+u8 pixels to halfword lanes, multiply against broadcast constants and
+pack back with ``packushb``; the scalar lowering pays the memory-table
+saturation like mpeg2play.
+
+All four builders come from the vectorizing compiler -- no hand
+assembly exists for this kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vc import (Add, Binding, Buffer, BufferBinding, Const, Load,
+                  LoopKernel, Mul, SatU8, Shr, make_builders)
+from .common import KernelSpec, register, rng_for
+
+N = 8
+#: Fixed blend weight (alpha of src0, out of 255).
+ALPHA = 170
+BETA = 255 - ALPHA
+ROUND = 128
+
+
+@dataclass
+class BlendWorkload:
+    """Paired 8x8 tiles from two deterministic synthetic images."""
+
+    src0: np.ndarray        # (count, 8, 8) uint8
+    src1: np.ndarray        # (count, 8, 8) uint8
+
+
+def make_workload(scale: int = 1) -> BlendWorkload:
+    rng = rng_for("blend", scale)
+    count = 8 * max(1, scale)
+    return BlendWorkload(
+        src0=rng.integers(0, 256, (count, N, N), dtype=np.uint8),
+        src1=rng.integers(0, 256, (count, N, N), dtype=np.uint8),
+    )
+
+
+def golden(workload: BlendWorkload) -> dict[str, np.ndarray]:
+    a = workload.src0.astype(np.int64)
+    b = workload.src1.astype(np.int64)
+    out = (ALPHA * a + BETA * b + ROUND) >> 8
+    return {"blocks": out.astype(np.uint8)}
+
+
+IR = LoopKernel(
+    name="blend",
+    rows=N,
+    cols=N,
+    buffers=(Buffer("src0"), Buffer("src1"), Buffer("out", out=True)),
+    expr=SatU8(Shr(Add(Add(Mul(Load("src0"), Const(ALPHA)),
+                           Mul(Load("src1"), Const(BETA))),
+                       Const(ROUND)), 8)),
+)
+
+
+def bind(workload: BlendWorkload) -> Binding:
+    count = len(workload.src0)
+    offsets = [i * N * N for i in range(count)]
+    return Binding(buffers={
+        "src0": BufferBinding(workload.src0, row_stride=N,
+                              offsets=list(offsets)),
+        "src1": BufferBinding(workload.src1, row_stride=N,
+                              offsets=list(offsets)),
+        "out": BufferBinding(None, row_stride=N, offsets=list(offsets)),
+    })
+
+
+register(KernelSpec(
+    name="blend",
+    description="constant-alpha compositing (compiler-built, widening MAC)",
+    make_workload=make_workload,
+    golden=golden,
+    builders=make_builders(IR, bind, output_key="blocks", name="blend"),
+))

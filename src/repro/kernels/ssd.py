@@ -1,0 +1,76 @@
+"""ssd: 8-bit block sum of squared differences (compiler-built).
+
+Per-block SSD between two frames -- the texture/rate-distortion metric
+of encoders, and the reduction shape of ``motion2`` *without* the
+invariant current block: both operands vary per instance, so the MOM
+lowering cannot hoist anything and loads two strided matrix operands per
+block, while MDMX software-pipelines its ``paccsqdb`` recurrence over
+all four accumulators and MMX pays the full unpack/``pmaddh`` promotion
+tax.
+
+All four builders come from the vectorizing compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..vc import (Binding, Buffer, BufferBinding, Load, LoopKernel, Square,
+                  Sub, make_builders)
+from .common import KernelSpec, register, rng_for
+
+BLOCK = 16
+
+
+@dataclass
+class SsdWorkload:
+    """Aligned 16x16 block pairs from two deterministic frames."""
+
+    a: np.ndarray           # (count, 16, 16) uint8
+    b: np.ndarray           # (count, 16, 16) uint8
+
+
+def make_workload(scale: int = 1) -> SsdWorkload:
+    rng = rng_for("ssd", scale)
+    count = 4 * max(1, scale)
+    a = rng.integers(0, 256, (count, BLOCK, BLOCK), dtype=np.uint8)
+    drift = rng.integers(-16, 17, (count, BLOCK, BLOCK))
+    b = (a.astype(np.int64) + drift).clip(0, 255).astype(np.uint8)
+    return SsdWorkload(a=a, b=b)
+
+
+def golden(workload: SsdWorkload) -> dict[str, np.ndarray]:
+    diff = workload.a.astype(np.int64) - workload.b.astype(np.int64)
+    return {"distances": np.square(diff).sum(axis=(1, 2))}
+
+
+IR = LoopKernel(
+    name="ssd",
+    rows=BLOCK,
+    cols=BLOCK,
+    buffers=(Buffer("a"), Buffer("b")),
+    expr=Square(Sub(Load("a"), Load("b"))),
+    reduce=True,
+)
+
+
+def bind(workload: SsdWorkload) -> Binding:
+    count = len(workload.a)
+    offsets = [i * BLOCK * BLOCK for i in range(count)]
+    return Binding(buffers={
+        "a": BufferBinding(workload.a, row_stride=BLOCK,
+                           offsets=list(offsets)),
+        "b": BufferBinding(workload.b, row_stride=BLOCK,
+                           offsets=list(offsets)),
+    })
+
+
+register(KernelSpec(
+    name="ssd",
+    description="8-bit block SSD (compiler-built, squared reduction)",
+    make_workload=make_workload,
+    golden=golden,
+    builders=make_builders(IR, bind, output_key="distances", name="ssd"),
+))

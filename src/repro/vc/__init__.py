@@ -1,0 +1,119 @@
+"""``repro.vc`` -- the retargetable DLP vectorizing compiler.
+
+One declarative kernel description (:mod:`repro.vc.ir`), four lowering
+passes (:mod:`~repro.vc.lower_alpha`, :mod:`~repro.vc.lower_mmx`,
+:mod:`~repro.vc.lower_mdmx`, :mod:`~repro.vc.lower_mom`) that each apply
+their ISA's Section 2 strategy, emitting through the existing emulation
+libraries -- so compiled traces flow unchanged into ``build_and_check``,
+the timing core, the experiment engine and the serving layer.
+
+Two consumer surfaces:
+
+* :func:`make_builders` turns an IR program plus a workload-binding
+  function into the per-ISA builder dict a
+  :class:`~repro.kernels.common.KernelSpec` wants -- "adding a kernel in
+  ~30 lines" (see the README walkthrough and the ``blend`` /
+  ``chromakey`` / ``ssd`` kernels).
+* :data:`COMPILED` records every registered compiler-backed kernel
+  (including the digest-pinned mirrors of the hand-written kernels in
+  :mod:`repro.vc.mirrors`) for the ``repro kernels`` coverage listing
+  and the parity tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from . import lower_alpha, lower_mdmx, lower_mmx, lower_mom
+from .ir import (AbsDiff, Add, Binding, Buffer, BufferBinding, Const, GtU,
+                 I16, Load, LoopKernel, Mul, SatU8, Select, Shr, Square, Sub,
+                 U8)
+
+#: Lowering pass per ISA.
+LOWERERS = {
+    "alpha": lower_alpha.lower,
+    "mmx": lower_mmx.lower,
+    "mdmx": lower_mdmx.lower,
+    "mom": lower_mom.lower,
+}
+
+
+@dataclass
+class CompiledKernel:
+    """Registry record of one compiler-backed kernel."""
+
+    ir: LoopKernel
+    bind: Callable[[object], Binding]
+    output_key: str = "out"
+    #: ``True`` when a hand-written builder also exists (digest-pinned
+    #: mirror); ``False`` for compiler-only kernels.
+    mirror: bool = False
+
+
+#: name -> record of every kernel the compiler knows how to build.
+COMPILED: dict[str, CompiledKernel] = {}
+
+
+def register_compiled(name: str, ir: LoopKernel, bind, *,
+                      output_key: str = "out", mirror: bool = False
+                      ) -> CompiledKernel:
+    """Record one compiler-backed kernel (idempotent per name)."""
+    record = CompiledKernel(ir=ir, bind=bind, output_key=output_key,
+                            mirror=mirror)
+    COMPILED[name] = record
+    return record
+
+
+def compile_kernel(ir: LoopKernel, isa: str, binding: Binding,
+                   output_key: str = "out"):
+    """Lower one IR program for one ISA against a concrete binding.
+
+    Returns a verified-buildable :class:`~repro.kernels.common.BuiltKernel`
+    (functional outputs attached; callers validate via
+    ``build_and_check``).
+    """
+    from ..kernels.common import BuiltKernel  # deferred: registry imports us
+
+    if isa not in LOWERERS:
+        raise KeyError(f"no lowering pass for ISA {isa!r}; "
+                       f"have {sorted(LOWERERS)}")
+    builder, outputs = LOWERERS[isa](ir, binding, output_key)
+    return BuiltKernel(builder=builder, outputs=outputs)
+
+
+def make_builders(ir: LoopKernel, bind, *, output_key: str = "out",
+                  name: str | None = None, mirror: bool = False
+                  ) -> dict[str, Callable]:
+    """Per-ISA builder functions for a :class:`KernelSpec`.
+
+    Each returned callable maps a workload to a ``BuiltKernel`` by
+    binding the workload and running the ISA's lowering pass; the
+    callables carry ``vc_ir`` / ``vc_isa`` / ``compiled`` attributes so
+    the ``repro kernels`` listing can tell compiled builders from hand
+    ones.  Passing ``name`` also records the kernel in :data:`COMPILED`.
+    """
+    if name is not None:
+        register_compiled(name, ir, bind, output_key=output_key,
+                          mirror=mirror)
+
+    def make(isa: str) -> Callable:
+        def build(workload):
+            return compile_kernel(ir, isa, bind(workload), output_key)
+        build.vc_ir = ir
+        build.vc_isa = isa
+        build.compiled = True
+        build.__name__ = f"vc_{ir.name}_{isa}"
+        return build
+
+    return {isa: make(isa) for isa in LOWERERS}
+
+
+from . import mirrors  # noqa: E402  (registers the digest-pinned mirrors)
+
+__all__ = [
+    "AbsDiff", "Add", "Binding", "Buffer", "BufferBinding", "COMPILED",
+    "CompiledKernel", "Const", "GtU", "I16", "LOWERERS", "Load",
+    "LoopKernel", "Mul", "SatU8", "Select", "Shr", "Square", "Sub", "U8",
+    "compile_kernel", "make_builders", "register_compiled",
+]

@@ -1,0 +1,387 @@
+"""Loop-nest IR of the vectorizing compiler.
+
+A :class:`LoopKernel` is a declarative description of one multimedia hot
+loop: a two-level data-parallel nest (``rows`` x ``cols`` sub-word
+elements, exactly the :class:`~repro.core.vectorize.LoopNest` shape the
+Section 2 analysis reasons about) whose body is a small dataflow
+expression over packed loads, constants and sub-word arithmetic.  The
+same IR program is lowered once per ISA by the passes in
+``vc/lower_*.py``; the analytical model in :mod:`repro.core.vectorize`
+is the *coverage oracle* that predicts how much of the nest each
+paradigm captures per instruction, and the lowering passes are the
+constructive proof.
+
+Two kernel shapes are expressible:
+
+* **map** kernels store one byte-result per element (``addblock``,
+  alpha blending, chroma keying): the expression tree evaluates in a
+  *byte* domain (u8 lanes) or a *half* domain (widened 16-bit lanes,
+  entered by any multiply, shift or 16-bit load) and the root saturates
+  back to u8 with :class:`SatU8`.
+* **reduce** kernels fold the whole nest into one scalar per instance
+  (SAD / SQD distances).  Reductions are restricted to the two idioms
+  the media ISAs accelerate -- ``AbsDiff(Load, Load)`` and
+  ``Square(Sub(Load, Load))`` -- so every lowering pass can select the
+  architecturally honest instruction (``psadb``, ``paccsadb``,
+  ``mommsadb``, ...) instead of emulating a generic fold.
+
+The IR is deliberately small: it has to be *just* expressive enough to
+cover the paper's compression/filtering hot loops while keeping each
+lowering pass auditable against the hand-written builders it replaces
+(the parity tests pin compiled traces digest-for-digest against them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.vectorize import LoopNest
+
+#: Element kinds a buffer can hold.
+U8 = "u8"
+I16 = "i16"
+
+#: Bytes of one element per kind.
+ELEM_BYTES = {U8: 1, I16: 2}
+
+#: Evaluation domains of expression nodes (packed lowering).
+BYTE = "byte"    #: 8 x u8 lanes per 64-bit word
+HALF = "half"    #: 4 x 16-bit lanes per 64-bit word (widened)
+
+
+@dataclass(frozen=True)
+class Buffer:
+    """One memory operand of the kernel.
+
+    ``out`` buffers receive the map result; reduce kernels have none.
+    """
+
+    name: str
+    elem: str = U8
+    out: bool = False
+
+    def __post_init__(self) -> None:
+        if self.elem not in ELEM_BYTES:
+            raise ValueError(f"buffer {self.name!r}: unknown elem {self.elem!r}")
+        if self.out and self.elem != U8:
+            raise ValueError(f"buffer {self.name!r}: outputs must be u8")
+
+
+# --- expression nodes --------------------------------------------------------
+#
+# Nodes are frozen dataclasses so structurally equal subtrees compare (and
+# hash) equal: ``Load("a")`` written twice is *one* DAG node, which is how
+# the lowering passes know a loaded register is still live and must not be
+# clobbered in place.
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class of all IR expression nodes."""
+
+    def children(self) -> tuple["Expr", ...]:
+        return tuple(v for v in self.__dict__.values() if isinstance(v, Expr))
+
+
+@dataclass(frozen=True)
+class Load(Expr):
+    """Packed load of the current row of ``buf`` (row stride per buffer)."""
+
+    buf: str
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Per-lane constant, broadcast across the packed word."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFF:
+            raise ValueError(f"Const {self.value} outside [0, 65535]")
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Sub(Expr):
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    """Widening multiply (evaluates in the half domain)."""
+
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Shr(Expr):
+    """Logical right shift by an immediate (half domain)."""
+
+    a: Expr
+    count: int
+
+
+@dataclass(frozen=True)
+class AbsDiff(Expr):
+    """``|a - b|`` on u8 lanes (byte domain)."""
+
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Square(Expr):
+    """``a * a`` -- only valid as a reduction body (SQD idiom)."""
+
+    a: Expr
+
+
+@dataclass(frozen=True)
+class GtU(Expr):
+    """Unsigned ``a > b`` lane mask; only valid as a :class:`Select` mask.
+
+    Packed lowering uses the classic unsigned-compare idiom
+    (``psubusb`` + ``pcmpeqb`` against zero) since the byte compares of
+    the modelled ISAs are signed.
+    """
+
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class Select(Expr):
+    """``mask ? a : b`` per lane (byte domain, ``pcmov`` / ``cmov``)."""
+
+    mask: Expr
+    a: Expr
+    b: Expr
+
+
+@dataclass(frozen=True)
+class SatU8(Expr):
+    """Saturate the (half-domain) operand into u8 lanes.
+
+    The scalar lowering implements this with the mpeg2play-style memory
+    lookup table (an extra dependent load per element); the packed
+    lowerings use ``packushb`` -- exactly the contrast Section 4.1 draws.
+    """
+
+    a: Expr
+
+
+# --- the kernel program ------------------------------------------------------
+
+#: Saturation-table domain of the scalar lowering: inputs to SatU8 must lie
+#: in [-TABLE_BIAS, TABLE_SIZE - TABLE_BIAS - 1] (pred + resid of addblock).
+TABLE_BIAS = 256
+TABLE_SIZE = 256 + 511
+
+
+@dataclass(frozen=True)
+class LoopKernel:
+    """One compilable loop nest.
+
+    Attributes:
+        name: kernel name (diagnostics only; the registry key is chosen
+            at registration time).
+        rows: outer (strided) trip count per instance.
+        cols: inner (contiguous) trip count per instance, in elements.
+        buffers: memory operands in allocation order (inputs then output).
+        expr: the body -- a map expression storing to the out buffer, or
+            a reduction idiom folding the nest into a scalar.
+        reduce: ``True`` for reduce kernels.
+        argmin: track the argmin of the per-instance scalars (reduce only).
+    """
+
+    name: str
+    rows: int
+    cols: int
+    buffers: tuple[Buffer, ...]
+    expr: Expr
+    reduce: bool = False
+    argmin: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"{self.name}: trip counts must be positive")
+        if self.cols % 8:
+            raise ValueError(f"{self.name}: cols must be a multiple of 8 "
+                             f"(packed row tiles), got {self.cols}")
+        if self.cols // 8 > 2:
+            raise ValueError(f"{self.name}: at most two 8-byte column tiles "
+                             f"are supported, got cols={self.cols}")
+        names = [b.name for b in self.buffers]
+        if len(set(names)) != len(names):
+            raise ValueError(f"{self.name}: duplicate buffer names")
+        outs = [b for b in self.buffers if b.out]
+        if self.reduce:
+            if outs:
+                raise ValueError(f"{self.name}: reduce kernels take no "
+                                 f"out buffer")
+            self._validate_reduction()
+        else:
+            if len(outs) != 1:
+                raise ValueError(f"{self.name}: map kernels need exactly "
+                                 f"one out buffer")
+            if self.argmin:
+                raise ValueError(f"{self.name}: argmin is reduce-only")
+            self._validate_map(self.expr)
+        for load in self.loads(self.expr):
+            if load.buf not in names:
+                raise ValueError(f"{self.name}: load of unknown buffer "
+                                 f"{load.buf!r}")
+
+    # --- structure helpers ---------------------------------------------------
+
+    @property
+    def tiles(self) -> int:
+        """8-byte column tiles per row."""
+        return self.cols // 8
+
+    @property
+    def out_buffer(self) -> Buffer:
+        return next(b for b in self.buffers if b.out)
+
+    def buffer(self, name: str) -> Buffer:
+        return next(b for b in self.buffers if b.name == name)
+
+    def loads(self, expr: Expr | None = None) -> list[Load]:
+        """Unique loads in first-evaluation order."""
+        seen: list[Load] = []
+
+        def walk(node: Expr) -> None:
+            if isinstance(node, Load):
+                if node not in seen:
+                    seen.append(node)
+                return
+            for child in node.children():
+                walk(child)
+
+        walk(self.expr if expr is None else expr)
+        return seen
+
+    def consts(self) -> list[Const]:
+        """Unique constants in first-evaluation order."""
+        seen: list[Const] = []
+
+        def walk(node: Expr) -> None:
+            if isinstance(node, Const) and node not in seen:
+                seen.append(node)
+            for child in node.children():
+                walk(child)
+
+        walk(self.expr)
+        return seen
+
+    def use_counts(self) -> dict[Expr, int]:
+        """Occurrences of each unique node (DAG sharing via equality)."""
+        counts: dict[Expr, int] = {}
+
+        def walk(node: Expr) -> None:
+            counts[node] = counts.get(node, 0) + 1
+            for child in node.children():
+                walk(child)
+
+        walk(self.expr)
+        return counts
+
+    # --- validation ----------------------------------------------------------
+
+    def _validate_reduction(self) -> None:
+        expr = self.expr
+        if isinstance(expr, AbsDiff):
+            a, b = expr.a, expr.b
+        elif isinstance(expr, Square) and isinstance(expr.a, Sub):
+            a, b = expr.a.a, expr.a.b
+        else:
+            raise ValueError(
+                f"{self.name}: reductions must be AbsDiff(Load, Load) or "
+                f"Square(Sub(Load, Load)), got {type(expr).__name__}")
+        for side in (a, b):
+            if not isinstance(side, Load):
+                raise ValueError(f"{self.name}: reduction operands must be "
+                                 f"loads, got {type(side).__name__}")
+            if self.buffer(side.buf).elem != U8:
+                raise ValueError(f"{self.name}: reductions operate on u8 "
+                                 f"buffers")
+        if a == b:
+            raise ValueError(f"{self.name}: reduction operands must differ")
+
+    def _validate_map(self, node: Expr, under_select_mask: bool = False) -> None:
+        if isinstance(node, Square):
+            raise ValueError(f"{self.name}: Square is reduce-only")
+        if isinstance(node, GtU) and not under_select_mask:
+            raise ValueError(f"{self.name}: GtU is only valid as a Select "
+                             f"mask")
+        if isinstance(node, Select):
+            if not isinstance(node.mask, GtU):
+                raise ValueError(f"{self.name}: Select mask must be GtU")
+            self._validate_map(node.mask, under_select_mask=True)
+            self._validate_map(node.a)
+            self._validate_map(node.b)
+            return
+        for child in node.children():
+            self._validate_map(child)
+
+    # --- analysis bridges ----------------------------------------------------
+
+    def nest(self, row_stride_bytes: int = 0) -> LoopNest:
+        """This kernel's nest as the Section 2 analytical model sees it.
+
+        ``row_stride_bytes`` is the byte distance between consecutive
+        rows of the primary input (a binding supplies the real value);
+        it decides whether the rows are contiguous, which is what caps
+        MMX-style coverage at one row.
+        """
+        return LoopNest(inner_trip=self.cols, outer_trip=self.rows,
+                        elem_bits=8, stride_bytes=row_stride_bytes)
+
+
+# --- runtime bindings --------------------------------------------------------
+
+@dataclass
+class BufferBinding:
+    """Concrete storage of one buffer for one workload.
+
+    Attributes:
+        array: input payload copied into simulated memory (``None`` for
+            outputs, which are zero-allocated).
+        row_stride: bytes between consecutive rows within one instance.
+        offsets: per-instance byte offset of the first element from the
+            buffer base; length defines the instance count and must agree
+            across buffers.
+    """
+
+    array: object
+    row_stride: int
+    offsets: list[int]
+
+
+@dataclass
+class Binding:
+    """Per-workload facts the lowering passes need: where every buffer
+    lives, how its rows stride, and the per-instance base offsets."""
+
+    buffers: dict[str, BufferBinding]
+
+    def __post_init__(self) -> None:
+        counts = {len(b.offsets) for b in self.buffers.values()}
+        if len(counts) != 1:
+            raise ValueError(f"inconsistent instance counts: {counts}")
+
+    @property
+    def instances(self) -> int:
+        return len(next(iter(self.buffers.values())).offsets)
+
+    def invariant(self, name: str) -> bool:
+        """True when every instance addresses the same base (hoistable)."""
+        offsets = self.buffers[name].offsets
+        return all(off == offsets[0] for off in offsets)

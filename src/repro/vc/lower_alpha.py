@@ -1,0 +1,257 @@
+"""Scalar lowering: strip-mined Alpha code, one element at a time.
+
+The strategy of Section 2's baseline: no data-level parallelism is
+exploited at all.  The inner loop is fully unrolled over the ``cols``
+elements of a row (what a late-90s compiler achieves with unrolling),
+each element moves through byte/halfword loads and 64-bit ALU ops, and
+saturation is performed through the mpeg2play memory lookup table --
+making map kernels memory-bound, which is why the paper sees plain Alpha
+*gaining* relative performance on wider machines for ``addblock``.
+
+Codegen conventions (digest-pinned against the hand builders):
+
+* integer registers allocate as pointers -> [table] -> [accumulator] ->
+  load registers -> scratch -> row counter -> argmin block;
+* map arithmetic folds in place into its left operand's register;
+  reductions compute into a dedicated ``d`` register and fold into the
+  accumulator with ``addq``;
+* the row loop emits a decrement-and-branch pair per row (no unrolling).
+"""
+
+from __future__ import annotations
+
+from ..emulib.alpha_builder import AlphaBuilder, emit_abs_diff
+from .base import (ArgminTracker, TABLE_BIAS, alloc_buffers, alloc_sat_table,
+                   read_map_output, reduce_outputs)
+from .ir import (Add, AbsDiff, Binding, Const, GtU, I16, Load, LoopKernel,
+                 Mul, Select, SatU8, Shr, Square, Sub)
+
+
+def lower(ir: LoopKernel, binding: Binding, output_key: str = "out"):
+    """Compile ``ir`` for the scalar baseline; returns (builder, outputs)."""
+    b = AlphaBuilder()
+    bases = alloc_buffers(b, ir, binding)
+    if ir.reduce:
+        return b, _lower_reduce(b, ir, binding, bases)
+    return b, _lower_map(b, ir, binding, bases, output_key)
+
+
+# --- reduce kernels ----------------------------------------------------------
+
+def _lower_reduce(b: AlphaBuilder, ir: LoopKernel, binding: Binding,
+                  bases: dict[str, int]):
+    expr = ir.expr
+    squared = isinstance(expr, Square)
+    la, lb = (expr.a.a, expr.a.b) if squared else (expr.a, expr.b)
+    stride_a = binding.buffers[la.buf].row_stride
+    stride_b = binding.buffers[lb.buf].row_stride
+
+    pa, pb = b.ireg(), b.ireg(bases[lb.buf])
+    s, va, vb, d, scr = b.ireg(), b.ireg(), b.ireg(), b.ireg(), b.ireg()
+    rows = b.ireg()
+    tracker = ArgminTracker(b) if ir.argmin else None
+    row_site = b.site()
+
+    distances: list[int] = []
+    offs_a = binding.buffers[la.buf].offsets
+    offs_b = binding.buffers[lb.buf].offsets
+    for index in range(binding.instances):
+        b.li(pa, bases[la.buf] + offs_a[index])
+        b.li(pb, bases[lb.buf] + offs_b[index])
+        b.li(s, 0)
+        b.li(rows, ir.rows)
+        for _row in range(ir.rows):
+            for i in range(ir.cols):
+                b.ldbu(va, pa, i)
+                b.ldbu(vb, pb, i)
+                if squared:
+                    b.subq(d, va, vb)
+                    b.mulq(d, d, d)
+                else:
+                    emit_abs_diff(b, d, va, vb, scr)
+                b.addq(s, s, d)
+            b.addi(pa, pa, stride_a)
+            b.addi(pb, pb, stride_b)
+            b.subi(rows, rows, 1)
+            b.bne(rows, row_site)
+        distances.append(s.value)
+        if tracker is not None:
+            tracker.track(s, index)
+    return reduce_outputs(distances, tracker)
+
+
+# --- map kernels -------------------------------------------------------------
+
+class _ScalarEval:
+    """Per-element evaluator with hand-builder register discipline.
+
+    Registers are allocated lazily on first need and cached, so the
+    first element's walk fixes the allocation order and every later
+    element reuses the same handles (exactly how the hand kernels hoist
+    their ``ireg()`` calls out of the loops).
+    """
+
+    def __init__(self, b: AlphaBuilder, ir: LoopKernel, tab) -> None:
+        self.b = b
+        self.ir = ir
+        self.tab = tab
+        self.use_counts = ir.use_counts()
+        self.load_regs: dict[Load, object] = {}
+        self.scratch: dict[str, object] = {}
+        self.pointers: dict[str, object] = {}
+        self._memo: dict[Load, object] = {}
+
+    def reg(self, key: str):
+        if key not in self.scratch:
+            self.scratch[key] = self.b.ireg()
+        return self.scratch[key]
+
+    def eval_element(self, node, col: int):
+        """Evaluate the whole expression for one element."""
+        self._memo = {}
+        return self.eval(node, col, dict(self.use_counts))
+
+    def eval(self, node, col: int, remaining: dict):
+        """Evaluate one node for element ``col``; returns its register.
+
+        ``remaining`` counts outstanding uses per unique node this
+        element; a register may be folded into in place only when its
+        producing node has no further consumers.
+        """
+        b = self.b
+        if isinstance(node, Load):
+            if node in self._memo:      # DAG-shared load: one fetch per element
+                return self._memo[node]
+            if node not in self.load_regs:
+                self.load_regs[node] = b.ireg()
+            reg = self.load_regs[node]
+            buf = self.ir.buffer(node.buf)
+            if buf.elem == I16:
+                b.ldwu(reg, self.pointers[node.buf], 2 * col)
+                b.sextw(reg, reg)
+            else:
+                b.ldbu(reg, self.pointers[node.buf], col)
+            self._memo[node] = reg
+            return reg
+        if isinstance(node, Const):
+            raise AssertionError("Const is folded into its consumer")
+        if isinstance(node, Add):
+            return self._additive(node, col, remaining, b.addq, b.addi)
+        if isinstance(node, Sub):
+            return self._additive(node, col, remaining, b.subq, b.subi)
+        if isinstance(node, Mul):
+            return self._additive(node, col, remaining, b.mulq, b.muli)
+        if isinstance(node, Shr):
+            reg = self._owned(self.eval(node.a, col, remaining),
+                              node.a, remaining, "shr")
+            b.srl(reg, reg, node.count)
+            return reg
+        if isinstance(node, AbsDiff):
+            ra = self.eval(node.a, col, remaining)
+            rb = self.eval(node.b, col, remaining)
+            self._consume(node.a, remaining)
+            self._consume(node.b, remaining)
+            d = self.reg("d")
+            emit_abs_diff(b, d, ra, rb, self.reg("scr"))
+            return d
+        if isinstance(node, SatU8):
+            reg = self.eval(node.a, col, remaining)
+            self._consume(node.a, remaining)
+            idx = self.reg("idx")
+            b.addq(idx, self.tab, reg)
+            b.ldbu(reg, idx, 0)
+            return reg
+        if isinstance(node, Select):
+            mask: GtU = node.mask
+            rx = self.eval(mask.a, col, remaining)
+            self._consume(mask.a, remaining)
+            if not isinstance(mask.b, Const):
+                raise NotImplementedError("scalar GtU needs a Const bound")
+            m = self.reg("m")
+            b.cmplti(m, rx, mask.b.value + 1)   # m = (x <= bound)
+            ra = self.eval(node.a, col, remaining)
+            rb = self.eval(node.b, col, remaining)
+            self._consume(node.a, remaining)
+            self._consume(node.b, remaining)
+            r = self.reg("r")
+            b.mov(r, ra)
+            b.cmovne(r, m, rb)
+            return r
+        raise NotImplementedError(f"scalar lowering of {type(node).__name__}")
+
+    def _additive(self, node, col: int, remaining: dict, op, op_imm):
+        """Add/Sub/Mul with the immediate form when one side is Const."""
+        b = self.b
+        if isinstance(node.b, Const):
+            reg = self._owned(self.eval(node.a, col, remaining),
+                              node.a, remaining, "acc")
+            op_imm(reg, reg, node.b.value)
+            return reg
+        ra = self.eval(node.a, col, remaining)
+        rb = self.eval(node.b, col, remaining)
+        self._consume(node.b, remaining)
+        reg = self._owned(ra, node.a, remaining, "acc")
+        op(reg, reg, rb)
+        return reg
+
+    def _owned(self, reg, node, remaining: dict, scratch_key: str):
+        """The register to fold into: in place when ``node`` is dead."""
+        self._consume(node, remaining)
+        if remaining.get(node, 0) == 0:
+            return reg
+        fresh = self.reg(scratch_key)
+        self.b.mov(fresh, reg)
+        return fresh
+
+    def _consume(self, node, remaining: dict) -> None:
+        remaining[node] = remaining.get(node, 1) - 1
+
+
+def _lower_map(b: AlphaBuilder, ir: LoopKernel, binding: Binding,
+               bases: dict[str, int], output_key: str):
+    needs_table = any(isinstance(n, SatU8) for n in _walk(ir.expr))
+    pointers = {buf.name: b.ireg() for buf in ir.buffers}
+    tab = None
+    if needs_table:
+        table_addr = alloc_sat_table(b)
+        tab = b.ireg(table_addr + TABLE_BIAS)
+    ev = _ScalarEval(b, ir, tab)
+    ev.pointers = pointers
+
+    # Planning dry run: evaluate one element, then discard the emitted
+    # instructions.  This fixes the register-allocation order (pointers,
+    # table, loads, scratch) *before* the row counter allocates -- the
+    # hand builders declare their registers in exactly this order -- while
+    # keeping the real emission below uniform across all elements.
+    for buf in ir.buffers:
+        pointers[buf.name].value = (bases[buf.name]
+                                    + binding.buffers[buf.name].offsets[0])
+    mark = len(b.trace.instructions)
+    ev.eval_element(ir.expr, 0)
+    del b.trace.instructions[mark:]
+    b.trace.invalidate_summary()
+
+    rows = b.ireg()
+    site = b.site()
+    out = ir.out_buffer
+    for index in range(binding.instances):
+        for buf in ir.buffers:
+            bound = binding.buffers[buf.name]
+            b.li(pointers[buf.name], bases[buf.name] + bound.offsets[index])
+        b.li(rows, ir.rows)
+        for _row in range(ir.rows):
+            for col in range(ir.cols):
+                reg = ev.eval_element(ir.expr, col)
+                b.stb(reg, pointers[out.name], col)
+            for buf in ir.buffers:
+                b.addi(pointers[buf.name], pointers[buf.name],
+                       binding.buffers[buf.name].row_stride)
+            b.subi(rows, rows, 1)
+            b.bne(rows, site)
+    return read_map_output(b, ir, binding, bases[out.name], output_key)
+
+
+def _walk(node):
+    yield node
+    for child in node.children():
+        yield from _walk(child)

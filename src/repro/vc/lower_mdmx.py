@@ -1,0 +1,100 @@
+"""MDMX lowering: packed-accumulator recurrence, software-pipelined.
+
+Element-wise (map) code is identical to the MMX strategy -- MDMX shares
+the packed-arithmetic subset -- so the map path delegates to
+:func:`repro.vc.lower_mmx.lower_with` with the MDMX builder, exactly as
+the hand ``addblock`` shares one builder function between the two ISAs.
+
+Reductions are where MDMX diverges: ``paccsadb`` / ``paccsqdb``
+accumulate into the 192-bit packed accumulators, and because every
+accumulator instruction reads the accumulator it writes (the Section 2.1
+recurrence), the row loop is *software pipelined over all four logical
+accumulators*.  The final read-out is the rac/punpck reduction tree from
+:mod:`repro.kernels.reduce`, paid at its real instruction cost.
+"""
+
+from __future__ import annotations
+
+from ..emulib.mdmx_builder import MdmxBuilder
+from .base import (ArgminTracker, alloc_buffers, reduce_outputs, unroll_for)
+from .ir import Binding, LoopKernel, Square
+from .lower_mmx import lower_with
+
+
+def lower(ir: LoopKernel, binding: Binding, output_key: str = "out"):
+    """Compile ``ir`` for the MDMX-like ISA; returns (builder, outputs)."""
+    if not ir.reduce:
+        return lower_with(MdmxBuilder, ir, binding, output_key)
+    b = MdmxBuilder()
+    bases = alloc_buffers(b, ir, binding)
+    return b, _lower_reduce(b, ir, binding, bases)
+
+
+#: Logical accumulators to pipeline the recurrence across.
+ACCUMULATORS = 4
+
+
+def _lower_reduce(b: MdmxBuilder, ir: LoopKernel, binding: Binding,
+                  bases: dict[str, int]):
+    # Deferred: repro.kernels.reduce is a leaf module, but importing it
+    # at module scope would run the kernels package __init__ while the
+    # kernel registry may itself be importing the compiler.
+    from ..kernels.reduce import mdmx_sad_total, mdmx_sqd_total
+
+    expr = ir.expr
+    squared = isinstance(expr, Square)
+    la, lb = (expr.a.a, expr.a.b) if squared else (expr.a, expr.b)
+    tiles = ir.tiles
+
+    pa, pb = b.ireg(), b.ireg()
+    s, s2 = b.ireg(), b.ireg()
+    tracker = ArgminTracker(b) if ir.argmin else None
+    rows = b.ireg()
+    a_tiles = [b.mreg() for _ in range(tiles)]
+    b_tiles = [b.mreg() for _ in range(tiles)]
+    zero = b.mreg()
+    scratch = [b.mreg() for _ in range(7)]
+    accs = [b.areg() for _ in range(ACCUMULATORS)]
+    b.pxor(zero, zero, zero)
+    row_site = b.site()
+
+    acc_op = b.paccsqdb if squared else b.paccsadb
+    total = ((lambda acc, out: mdmx_sqd_total(b, acc, scratch, zero, out))
+             if squared else
+             (lambda acc, out: mdmx_sad_total(b, acc, scratch, out)))
+
+    unroll = unroll_for(ir.rows)
+    stride_a = binding.buffers[la.buf].row_stride
+    stride_b = binding.buffers[lb.buf].row_stride
+    offs_a = binding.buffers[la.buf].offsets
+    offs_b = binding.buffers[lb.buf].offsets
+
+    distances: list[int] = []
+    for index in range(binding.instances):
+        b.li(pa, bases[la.buf] + offs_a[index])
+        b.li(pb, bases[lb.buf] + offs_b[index])
+        for acc in accs:
+            b.clracc(acc)
+        b.li(rows, ir.rows // unroll)
+        for row in range(ir.rows):
+            for tile in range(tiles):
+                b.m_ldq(a_tiles[tile], pa, 8 * tile)
+            for tile in range(tiles):
+                b.m_ldq(b_tiles[tile], pb, 8 * tile)
+            # Rotate accumulators to break the recurrence (Section 2.1).
+            for tile in range(tiles):
+                acc_op(accs[(tiles * row + tile) % ACCUMULATORS],
+                       a_tiles[tile], b_tiles[tile])
+            b.addi(pa, pa, stride_a)
+            b.addi(pb, pb, stride_b)
+            if row % unroll == unroll - 1:
+                b.subi(rows, rows, 1)
+                b.bne(rows, row_site)
+        total(accs[0], s)
+        for extra in accs[1:]:
+            total(extra, s2)
+            b.addq(s, s, s2)
+        distances.append(s.value)
+        if tracker is not None:
+            tracker.track(s, index)
+    return reduce_outputs(distances, tracker)

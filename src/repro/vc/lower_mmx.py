@@ -1,0 +1,169 @@
+"""MMX lowering: row packing with unrolling and software pipelining.
+
+The Section 2 strategy for sub-word SIMD: the inner loop packs into
+8-byte row tiles, the row loop is unrolled by four to amortize the
+decrement-and-branch pair, and reductions go through the "enhanced
+reduction operations" (``psadb``) or, for squared differences, the
+pack/unpack data-promotion sequence (``punpck`` + ``psubh`` +
+``pmaddh``) whose overhead Section 2.1 blames on MMX -- followed by a
+horizontal fold and a ``movd`` back to the integer file.
+
+The emitted instruction streams are pinned against the hand-written
+``addblock`` / ``motion1`` / ``motion2`` builders by the parity tests.
+"""
+
+from __future__ import annotations
+
+from ..emulib.mmx_builder import MmxBuilder
+from .base import (ArgminTracker, PackedEval, alloc_buffers, alloc_const_pool,
+                   load_offset, make_const_word, plan_packed, read_map_output,
+                   reduce_outputs, unroll_for)
+from .ir import HALF, I16, Binding, LoopKernel, Square
+
+
+def lower(ir: LoopKernel, binding: Binding, output_key: str = "out"):
+    """Compile ``ir`` for the MMX-like ISA; returns (builder, outputs)."""
+    return lower_with(MmxBuilder, ir, binding, output_key)
+
+
+def lower_with(builder_cls, ir: LoopKernel, binding: Binding,
+               output_key: str):
+    """Shared MMX/MDMX entry point (the map strategy is identical; the
+    hand ``addblock`` uses one builder function for both ISAs too)."""
+    b = builder_cls()
+    bases = alloc_buffers(b, ir, binding)
+    if ir.reduce:
+        return b, _lower_reduce(b, ir, binding, bases)
+    return b, _lower_map(b, ir, binding, bases, output_key)
+
+
+# --- map kernels -------------------------------------------------------------
+
+class _MmxEval(PackedEval):
+    """Tile evaluator addressing rows through per-buffer base pointers."""
+
+    def emit_load_u8(self, reg, buf: str, tile: int) -> None:
+        self.b.m_ldq(reg, self.pointers[buf], load_offset("u8", tile))
+
+    def emit_load_i16(self, lo, hi, buf: str, tile: int) -> None:
+        self.b.m_ldq(lo, self.pointers[buf], load_offset(I16, tile, 0))
+        self.b.m_ldq(hi, self.pointers[buf], load_offset(I16, tile, 1))
+
+
+def _lower_map(b, ir: LoopKernel, binding: Binding, bases: dict[str, int],
+               output_key: str):
+    zero_needed, const_keys = plan_packed(ir)
+    const_pool = None
+    if const_keys:
+        const_pool = alloc_const_pool(b, [
+            make_const_word(value, domain == HALF)
+            for value, domain in const_keys])
+
+    pointers = {buf.name: b.ireg() for buf in ir.buffers}
+    rows = b.ireg()
+    cp = b.ireg(const_pool) if const_keys else None
+
+    ev = _MmxEval(b, ir)
+    ev.pointers = pointers
+    if zero_needed:
+        ev.zero = b.mreg()
+        b.pxor(ev.zero, ev.zero, ev.zero)
+    for i, key in enumerate(const_keys):
+        creg = b.mreg()
+        b.m_ldq(creg, cp, 8 * i)
+        ev.consts[key] = creg
+    site = b.site()
+
+    unroll = unroll_for(ir.rows)
+    out = ir.out_buffer
+    for index in range(binding.instances):
+        for buf in ir.buffers:
+            bound = binding.buffers[buf.name]
+            b.li(pointers[buf.name], bases[buf.name] + bound.offsets[index])
+        b.li(rows, ir.rows // unroll)
+        for row in range(ir.rows):
+            for tile in range(ir.tiles):
+                val = ev.eval_tile(ir.expr, tile)
+                b.m_stq(val.byte, pointers[out.name], 8 * tile)
+            for buf in ir.buffers:
+                b.addi(pointers[buf.name], pointers[buf.name],
+                       binding.buffers[buf.name].row_stride)
+            if row % unroll == unroll - 1:
+                b.subi(rows, rows, 1)
+                b.bne(rows, site)
+    return read_map_output(b, ir, binding, bases[out.name], output_key)
+
+
+# --- reduce kernels ----------------------------------------------------------
+
+def _lower_reduce(b, ir: LoopKernel, binding: Binding, bases: dict[str, int]):
+    expr = ir.expr
+    squared = isinstance(expr, Square)
+    la, lb = (expr.a.a, expr.a.b) if squared else (expr.a, expr.b)
+    tiles = ir.tiles
+
+    pa, pb = b.ireg(), b.ireg()
+    s = b.ireg()
+    tracker = ArgminTracker(b) if ir.argmin else None
+    rows = b.ireg()
+    a_tiles = [b.mreg() for _ in range(tiles)]
+    b_tiles = [b.mreg() for _ in range(tiles)]
+    acc, d1, d2 = b.mreg(), b.mreg(), b.mreg()
+    zero = b.mreg()
+    if squared:
+        ta0, ta1, tb0, tb1 = (b.mreg() for _ in range(4))
+    b.pxor(zero, zero, zero)
+    row_site = b.site()
+
+    unroll = unroll_for(ir.rows)
+    stride_a = binding.buffers[la.buf].row_stride
+    stride_b = binding.buffers[lb.buf].row_stride
+    offs_a = binding.buffers[la.buf].offsets
+    offs_b = binding.buffers[lb.buf].offsets
+    d_regs = (d1, d2)
+
+    distances: list[int] = []
+    for index in range(binding.instances):
+        b.li(pa, bases[la.buf] + offs_a[index])
+        b.li(pb, bases[lb.buf] + offs_b[index])
+        b.pxor(acc, acc, acc)
+        b.li(rows, ir.rows // unroll)
+        for row in range(ir.rows):
+            for tile in range(tiles):
+                b.m_ldq(a_tiles[tile], pa, 8 * tile)
+            for tile in range(tiles):
+                b.m_ldq(b_tiles[tile], pb, 8 * tile)
+            if squared:
+                for src_a, src_b in zip(a_tiles, b_tiles):
+                    # Data promotion: unpack bytes to halves, subtract,
+                    # square-and-sum pairs with pmaddh -- the pack/unpack
+                    # overhead Section 2.1 blames on MMX reductions.
+                    b.punpcklb(ta0, src_a, zero)
+                    b.punpckhb(ta1, src_a, zero)
+                    b.punpcklb(tb0, src_b, zero)
+                    b.punpckhb(tb1, src_b, zero)
+                    b.psubh(ta0, ta0, tb0)
+                    b.psubh(ta1, ta1, tb1)
+                    b.pmaddh(d1, ta0, ta0)
+                    b.pmaddh(d2, ta1, ta1)
+                    b.paddw(acc, acc, d1)
+                    b.paddw(acc, acc, d2)
+            else:
+                for tile in range(tiles):
+                    b.psadb(d_regs[tile % 2], a_tiles[tile], b_tiles[tile])
+                for tile in range(tiles):
+                    b.paddw(acc, acc, d_regs[tile % 2])
+            b.addi(pa, pa, stride_a)
+            b.addi(pb, pb, stride_b)
+            if row % unroll == unroll - 1:
+                b.subi(rows, rows, 1)
+                b.bne(rows, row_site)
+        if squared:
+            b.psrlq(d1, acc, 32)
+            b.paddw(acc, acc, d1)
+        b.movd_from(s, acc)
+        b.andi(s, s, 0xFFFF_FFFF)
+        distances.append(s.value)
+        if tracker is not None:
+            tracker.track(s, index)
+    return reduce_outputs(distances, tracker)

@@ -1,0 +1,175 @@
+"""MOM lowering: 2D row x lane tiling over matrix registers.
+
+The Section 2.2 strategy: set VL to the outer trip count, load each
+8-byte column tile of the nest with one strided ``momldq`` (the row
+stride is the *image* stride, which is what defeats "just use a wider
+register"), apply packed operations to all rows at once, and reduce both
+dimensions with a single matrix instruction (``mommsadb`` /
+``mommsqdb``) whose scalar total reads out through one ``racl``.
+
+Loop-invariant operand hoisting falls out of the instance offsets: a
+buffer whose instances all address the same base (the current block of
+motion estimation) is loaded once, before the instance loop -- 2D
+vectorization plus classic invariant code motion.
+"""
+
+from __future__ import annotations
+
+from ..core.mom_isa import MATRIX_ROWS
+from ..emulib.mom_builder import MomBuilder
+from ..isa.model import ElemType
+from .base import (ArgminTracker, PackedEval, alloc_buffers, alloc_const_pool,
+                   make_const_word, plan_packed, read_map_output,
+                   reduce_outputs)
+from .ir import HALF, Binding, LoopKernel, Square
+
+
+def lower(ir: LoopKernel, binding: Binding, output_key: str = "out"):
+    """Compile ``ir`` for the MOM ISA; returns (builder, outputs)."""
+    if ir.rows > MATRIX_ROWS:
+        raise ValueError(f"{ir.name}: MOM lowering covers at most "
+                         f"{MATRIX_ROWS} rows per instance, got {ir.rows}")
+    b = MomBuilder()
+    bases = alloc_buffers(b, ir, binding)
+    if ir.reduce:
+        return b, _lower_reduce(b, ir, binding, bases)
+    return b, _lower_map(b, ir, binding, bases, output_key)
+
+
+# --- map kernels -------------------------------------------------------------
+
+class _MomEval(PackedEval):
+    """Tile evaluator walking strided matrix accesses.
+
+    ``momldq`` takes no offset operand, so moving between column tiles
+    bumps the buffer pointer by 8 (the pointers are re-initialized per
+    instance); ``_cursors`` tracks each pointer's current 8-byte column.
+    """
+
+    def __init__(self, b, ir) -> None:
+        super().__init__(b, ir)
+        self.strides: dict[str, object] = {}
+        self._cursors: dict[str, int] = {}
+
+    def reset_cursors(self) -> None:
+        self._cursors = {}
+
+    def seek(self, buf: str, column: int) -> None:
+        cursor = self._cursors.get(buf, 0)
+        if column != cursor:
+            self.b.addi(self.pointers[buf], self.pointers[buf],
+                        8 * (column - cursor))
+            self._cursors[buf] = column
+
+    def emit_load_u8(self, reg, buf: str, tile: int) -> None:
+        self.seek(buf, tile)
+        self.b.momldq(reg, self.pointers[buf], self.strides[buf])
+
+    def emit_load_i16(self, lo, hi, buf: str, tile: int) -> None:
+        self.seek(buf, 2 * tile)
+        self.b.momldq(lo, self.pointers[buf], self.strides[buf])
+        self.seek(buf, 2 * tile + 1)
+        self.b.momldq(hi, self.pointers[buf], self.strides[buf])
+
+    def emit_store(self, reg, buf: str, tile: int) -> None:
+        self.seek(buf, tile)
+        self.b.momstq(reg, self.pointers[buf], self.strides[buf])
+
+
+def _lower_map(b: MomBuilder, ir: LoopKernel, binding: Binding,
+               bases: dict[str, int], output_key: str):
+    zero_needed, const_keys = plan_packed(ir)
+    const_pool = None
+    if const_keys:
+        const_pool = alloc_const_pool(b, [
+            make_const_word(value, domain == HALF)
+            for value, domain in const_keys])
+
+    pointers = {buf.name: b.ireg() for buf in ir.buffers}
+    strides = {buf.name: b.ireg(binding.buffers[buf.name].row_stride)
+               for buf in ir.buffers}
+    cp = b.ireg(const_pool) if const_keys else None
+
+    ev = _MomEval(b, ir)
+    ev.pointers = pointers
+    ev.strides = strides
+    b.setvli(ir.rows)
+    if zero_needed:
+        ev.zero = b.mreg()
+        b.momzero(ev.zero)
+    for i, key in enumerate(const_keys):
+        creg = b.mreg()
+        b.momldbcast(creg, cp, 8 * i)
+        ev.consts[key] = creg
+
+    out = ir.out_buffer
+    for index in range(binding.instances):
+        for buf in ir.buffers:
+            bound = binding.buffers[buf.name]
+            b.li(pointers[buf.name], bases[buf.name] + bound.offsets[index])
+        ev.reset_cursors()
+        for tile in range(ir.tiles):
+            val = ev.eval_tile(ir.expr, tile)
+            ev.emit_store(val.byte, out.name, tile)
+    return read_map_output(b, ir, binding, bases[out.name], output_key)
+
+
+# --- reduce kernels ----------------------------------------------------------
+
+def _lower_reduce(b: MomBuilder, ir: LoopKernel, binding: Binding,
+                  bases: dict[str, int]):
+    expr = ir.expr
+    squared = isinstance(expr, Square)
+    la, lb = (expr.a.a, expr.a.b) if squared else (expr.a, expr.b)
+    tiles = ir.tiles
+
+    pa, pb = b.ireg(), b.ireg()
+    stride_a = b.ireg(binding.buffers[la.buf].row_stride)
+    stride_b = b.ireg(binding.buffers[lb.buf].row_stride)
+    s = b.ireg()
+    tracker = ArgminTracker(b) if ir.argmin else None
+    a_tiles = [b.mreg() for _ in range(tiles)]
+    b_tiles = [b.mreg() for _ in range(tiles)]
+    acc = b.areg()
+    acc_op = b.mommsqdb if squared else b.mommsadb
+
+    pointers = {la.buf: pa, lb.buf: pb}
+    strides = {la.buf: stride_a, lb.buf: stride_b}
+    regs = {la.buf: a_tiles, lb.buf: b_tiles}
+    offs = {name: binding.buffers[name].offsets for name in (la.buf, lb.buf)}
+
+    def load_tiles(buf: str) -> None:
+        ptr, srd = pointers[buf], strides[buf]
+        for tile, reg in enumerate(regs[buf]):
+            if tile:
+                b.addi(ptr, ptr, 8)
+            b.momldq(reg, ptr, srd)
+
+    # Hoist the loads of an instance-invariant operand out of the
+    # candidate walk entirely -- 2D vectorization at work.
+    b.setvli(ir.rows)
+    hoisted = {name for name in (la.buf, lb.buf) if binding.invariant(name)}
+    for buf in (la.buf, lb.buf):
+        if buf in hoisted:
+            b.li(pointers[buf], bases[buf] + offs[buf][0])
+            load_tiles(buf)
+
+    distances: list[int] = []
+    for index in range(binding.instances):
+        b.setvli(ir.rows)
+        for buf in (la.buf, lb.buf):
+            if buf not in hoisted:
+                b.li(pointers[buf], bases[buf] + offs[buf][index])
+        b.clracc(acc)
+        for buf in (la.buf, lb.buf):
+            if buf not in hoisted:
+                load_tiles(buf)
+        for tile in range(tiles):
+            acc_op(acc, a_tiles[tile], b_tiles[tile])
+        # The matrix instruction reduced both dimensions: one racl reads
+        # the scalar total.
+        b.racl(s, acc, ElemType.Q)
+        distances.append(s.value)
+        if tracker is not None:
+            tracker.track(s, index)
+    return reduce_outputs(distances, tracker)

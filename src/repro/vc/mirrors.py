@@ -1,0 +1,105 @@
+"""Compiled mirrors of the hand-written kernels (the parity proof).
+
+Re-expresses ``addblock``, ``motion1`` and ``motion2`` as IR programs
+and binds them to the exact workloads of the hand builders.  The parity
+tests (and the CI compile-parity job) build both versions and require
+the compiled traces to be instruction-for-instruction equivalent -- same
+opcodes, effective addresses, vector lengths, branch outcomes and
+dependence structure -- which pins the lowering strategies to the
+Section 2/3.1 codegen the hand kernels embody and makes the compiled
+``SimResult`` digests bit-identical on the golden mini-grid.
+
+The registry keeps serving the hand builders; these mirrors exist so
+every lowering change is diffed against a known-good stream.
+"""
+
+from __future__ import annotations
+
+from . import register_compiled
+from .ir import (AbsDiff, Add, Binding, Buffer, BufferBinding, I16, Load,
+                 LoopKernel, SatU8, Square, Sub)
+
+#: addblock block edge / motion block edge (restated from the kernel
+#: modules; the workloads themselves come in through the bindings).
+ADDBLOCK_N = 8
+MOTION_BLOCK = 16
+
+
+# --- addblock ----------------------------------------------------------------
+
+ADDBLOCK_IR = LoopKernel(
+    name="addblock",
+    rows=ADDBLOCK_N,
+    cols=ADDBLOCK_N,
+    buffers=(
+        Buffer("pred"),
+        Buffer("resid", elem=I16),
+        Buffer("out", out=True),
+    ),
+    expr=SatU8(Add(Load("pred"), Load("resid"))),
+)
+
+
+def bind_addblock(workload) -> Binding:
+    """Binding for :class:`repro.kernels.addblock.AddblockWorkload`."""
+    n = ADDBLOCK_N
+    count = len(workload.positions)
+    return Binding(buffers={
+        "pred": BufferBinding(
+            array=workload.frame,
+            row_stride=workload.width,
+            offsets=[y * workload.width + x for y, x in workload.positions]),
+        "resid": BufferBinding(
+            array=workload.residuals,
+            row_stride=2 * n,
+            offsets=[i * n * n * 2 for i in range(count)]),
+        "out": BufferBinding(
+            array=None,
+            row_stride=n,
+            offsets=[i * n * n for i in range(count)]),
+    })
+
+
+# --- motion1 / motion2 -------------------------------------------------------
+
+def _motion_ir(name: str, squared: bool) -> LoopKernel:
+    ref, blk = Load("ref"), Load("blk")
+    return LoopKernel(
+        name=name,
+        rows=MOTION_BLOCK,
+        cols=MOTION_BLOCK,
+        buffers=(Buffer("ref"), Buffer("blk")),
+        expr=Square(Sub(ref, blk)) if squared else AbsDiff(ref, blk),
+        reduce=True,
+        argmin=True,
+    )
+
+
+MOTION1_IR = _motion_ir("motion1", squared=False)
+MOTION2_IR = _motion_ir("motion2", squared=True)
+
+
+def bind_motion(workload) -> Binding:
+    """Binding for :class:`repro.kernels.motion.MotionWorkload`."""
+    return Binding(buffers={
+        "ref": BufferBinding(
+            array=workload.ref,
+            row_stride=workload.width,
+            offsets=[y * workload.width + x
+                     for y, x in workload.candidates]),
+        "blk": BufferBinding(
+            array=workload.blk,
+            row_stride=MOTION_BLOCK,
+            offsets=[0] * len(workload.candidates)),
+    })
+
+
+#: (kernel name, IR, binding) of every mirrored kernel.
+MIRRORS = {
+    "addblock": (ADDBLOCK_IR, bind_addblock, "blocks"),
+    "motion1": (MOTION1_IR, bind_motion, "distances"),
+    "motion2": (MOTION2_IR, bind_motion, "distances"),
+}
+
+for _name, (_ir, _bind, _key) in MIRRORS.items():
+    register_compiled(_name, _ir, _bind, output_key=_key, mirror=True)

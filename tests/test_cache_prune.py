@@ -1,0 +1,152 @@
+"""Age-based ResultCache eviction and its safety against live writers."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.exp.cache import ResultCache
+
+
+def _backdate(path, seconds):
+    past = time.time() - seconds
+    os.utime(path, (past, past))
+
+
+def test_prune_evicts_only_old_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(6):
+        cache.put(f"key{i}", {"result": i})
+    for i in range(3):
+        _backdate(cache._path(f"key{i}"), 3600)
+    removed = cache.prune(600)
+    assert removed == 3
+    assert len(cache) == 3
+    for i in range(3):
+        assert cache.get(f"key{i}") is None
+    for i in range(3, 6):
+        assert cache.get(f"key{i}")["result"] == i
+
+
+def test_prune_refreshed_entries_survive(tmp_path):
+    """put() rewrites the file, so revalidated points reset their age."""
+    cache = ResultCache(tmp_path)
+    cache.put("hot", {"result": 1})
+    _backdate(cache._path("hot"), 3600)
+    cache.put("hot", {"result": 2})
+    assert cache.prune(600) == 0
+    assert cache.get("hot")["result"] == 2
+
+
+def test_prune_sweeps_only_stale_tmp_orphans(tmp_path):
+    """A young *.tmp belongs to a writer between mkstemp and rename and
+    must survive; an old orphan (crashed writer) is swept."""
+    cache = ResultCache(tmp_path)
+    cache.put("a", {"result": 1})
+    stale = tmp_path / "deadbeef.tmp"
+    stale.write_text("{}")
+    _backdate(stale, 3600)
+    fresh = tmp_path / "cafef00d.tmp"
+    fresh.write_text("{}")
+    assert cache.prune(600) == 0          # orphans don't count as entries
+    assert not stale.exists()
+    assert fresh.exists()
+    assert cache.get("a")["result"] == 1
+
+
+def test_prune_rejects_negative_age(tmp_path):
+    with pytest.raises(ValueError):
+        ResultCache(tmp_path).prune(-1)
+
+
+def test_prune_missing_directory_is_noop(tmp_path):
+    assert ResultCache(tmp_path / "nope").prune(0) == 0
+
+
+def test_prune_mid_serve_never_corrupts_atomic_writes(tmp_path):
+    """The serve-layer hazard: a session persisting results while an
+    operator prunes.  Whatever interleaving occurs, every observable
+    entry must be complete valid JSON (atomic-rename protocol intact)
+    and a get() is either a clean miss or the full record -- never a
+    torn read, never an exception.
+    """
+    cache = ResultCache(tmp_path)
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer(worker: int) -> None:
+        i = 0
+        try:
+            while not stop.is_set():
+                key = f"w{worker}k{i % 7}"
+                cache.put(key, {"spec": {"i": i}, "result": {"cycles": i}})
+                entry = cache.get(key)
+                # A concurrent prune(0) may have unlinked it (clean miss)
+                # but a present entry must be whole.
+                if entry is not None:
+                    assert entry["result"]["cycles"] == i
+                i += 1
+        except BaseException as exc:      # pragma: no cover - failure path
+            errors.append(exc)
+
+    def pruner() -> None:
+        try:
+            while not stop.is_set():
+                cache.prune(0)
+        except BaseException as exc:      # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n,)) for n in range(2)]
+    threads.append(threading.Thread(target=pruner))
+    for t in threads:
+        t.start()
+    time.sleep(0.8)
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert not errors, errors
+
+    # Post-mortem: every surviving file decodes as a complete entry.
+    for path in cache.entries():
+        entry = json.loads(path.read_text())
+        assert entry["version"] == 1
+        assert "result" in entry
+    # And the cache still works.
+    cache.put("after", {"result": "fine"})
+    assert cache.get("after")["result"] == "fine"
+
+
+def test_cli_age_parsing():
+    from repro.exp.cli import _parse_age
+    assert _parse_age("300") == 300
+    assert _parse_age("90s") == 90
+    assert _parse_age("30m") == 1800
+    assert _parse_age("12h") == 12 * 3600
+    assert _parse_age("7d") == 7 * 86400
+    assert _parse_age("1.5h") == 5400
+    with pytest.raises(ValueError):
+        _parse_age("soon")
+    with pytest.raises(ValueError):
+        _parse_age("-1s")
+    with pytest.raises(ValueError):
+        _parse_age("d")         # suffix with no number
+    with pytest.raises(ValueError):
+        _parse_age("nan")       # non-finite would make prune a silent no-op
+    with pytest.raises(ValueError):
+        _parse_age("inf")
+
+
+def test_cli_prune_command(tmp_path, capsys):
+    from repro.exp.cli import main
+    cache = ResultCache(tmp_path)
+    cache.put("old", {"result": 1})
+    _backdate(cache._path("old"), 3600)
+    cache.put("new", {"result": 2})
+    rc = main(["cache", "--prune", "30m", "--cache-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "pruned 1" in out
+    assert cache.get("old") is None
+    assert cache.get("new")["result"] == 2

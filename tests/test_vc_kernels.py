@@ -1,0 +1,194 @@
+"""Compiler-built kernels: goldens, IR validation, end-to-end sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.exp import Session
+from repro.exp.spec import PointSpec, preset
+from repro.kernels import ISAS, KERNELS, VC_KERNEL_ORDER, build_and_check
+from repro.vc import (AbsDiff, Add, Buffer, Binding, BufferBinding, COMPILED,
+                      Const, GtU, I16, Load, LoopKernel, Mul, SatU8, Select,
+                      Square, Sub)
+
+NEW_KERNELS = VC_KERNEL_ORDER
+
+
+# --- correctness against numpy goldens ---------------------------------------
+
+@pytest.mark.parametrize("kernel", NEW_KERNELS)
+@pytest.mark.parametrize("isa", ISAS)
+def test_new_kernels_verify_against_golden(kernel, isa):
+    spec = KERNELS[kernel]
+    built = build_and_check(spec, isa, spec.make_workload(1))
+    assert len(built.trace) > 0
+    assert built.trace.isa == isa
+
+
+@pytest.mark.parametrize("kernel", NEW_KERNELS)
+def test_new_kernels_scale_deterministically(kernel):
+    """Same (kernel, scale) twice -> identical traces (seeded workloads)."""
+    from repro.emulib.fingerprint import trace_digest
+    spec = KERNELS[kernel]
+    digests = []
+    for _ in range(2):
+        built = build_and_check(spec, "mom", spec.make_workload(2))
+        digests.append(trace_digest(built.trace))
+    assert digests[0] == digests[1]
+
+
+def test_builders_are_marked_compiled():
+    for kernel in NEW_KERNELS:
+        for isa in ISAS:
+            builder = KERNELS[kernel].builders[isa]
+            assert getattr(builder, "compiled", False)
+            assert builder.vc_isa == isa
+            assert builder.vc_ir is COMPILED[kernel].ir
+
+
+# --- end-to-end through the experiment engine --------------------------------
+
+def test_vc_kernels_preset_resolves():
+    sweep = preset("vc-kernels")
+    points = sweep.points()
+    assert {p.target for p in points} == set(NEW_KERNELS)
+    assert {p.isa for p in points} == set(ISAS)
+
+
+def test_new_kernels_run_through_session(tmp_path):
+    """`repro sweep` path: points execute, cache round-trips, ISAs order
+    as the paper expects (MOM fastest, scalar slowest)."""
+    session = Session(tmp_path / "cache")
+    points = [PointSpec(kind="kernel", target="chromakey", isa=isa, way=2)
+              for isa in ISAS]
+    results = session.run(points)
+    cycles = {p.isa: results[p].cycles for p in points}
+    assert cycles["mom"] < cycles["mmx"] < cycles["alpha"]
+    # Warm rerun: all hits, identical results.
+    warm = Session(tmp_path / "cache")
+    rerun = warm.run(points)
+    assert warm.hits == len(points) and warm.misses == 0
+    assert {p: r for p, r in rerun.items()} == results
+
+
+def test_sweep_cli_accepts_new_kernels(capsys):
+    from repro.exp.cli import main
+    rc = main(["sweep", "--kernels", "ssd", "--isas", "mom", "--ways", "2",
+               "--no-cache"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "ssd" in out
+
+
+def test_kernels_cli_lists_coverage(capsys):
+    from repro.exp.cli import main
+    rc = main(["kernels"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "blend" in out and "chromakey" in out and "ssd" in out
+    # compiled builders are flagged, mirrored hand kernels noted
+    assert "vc" in out
+    assert "hand (+mirror)" in out
+    # MOM covers 16x8 = 128 elements of the motion nest per instruction
+    assert "128" in out
+
+
+# --- IR validation -----------------------------------------------------------
+
+def _map_kernel(expr, buffers=None):
+    return LoopKernel(
+        name="t", rows=8, cols=8,
+        buffers=buffers or (Buffer("a"), Buffer("b"),
+                            Buffer("out", out=True)),
+        expr=expr)
+
+
+def test_ir_rejects_missing_out_buffer():
+    with pytest.raises(ValueError, match="exactly one out buffer"):
+        LoopKernel(name="t", rows=8, cols=8, buffers=(Buffer("a"),),
+                   expr=SatU8(Add(Load("a"), Load("a"))))
+
+
+def test_ir_rejects_unknown_buffer():
+    with pytest.raises(ValueError, match="unknown buffer"):
+        _map_kernel(SatU8(Add(Load("a"), Load("zzz"))))
+
+
+def test_ir_rejects_bad_reduction_shape():
+    with pytest.raises(ValueError, match="reductions must be"):
+        LoopKernel(name="t", rows=8, cols=8,
+                   buffers=(Buffer("a"), Buffer("b")),
+                   expr=Add(Load("a"), Load("b")), reduce=True)
+
+
+def test_ir_rejects_same_operand_reduction():
+    with pytest.raises(ValueError, match="must differ"):
+        LoopKernel(name="t", rows=8, cols=8, buffers=(Buffer("a"),),
+                   expr=AbsDiff(Load("a"), Load("a")), reduce=True)
+
+
+def test_ir_rejects_square_in_map():
+    with pytest.raises(ValueError, match="Square is reduce-only"):
+        _map_kernel(SatU8(Square(Load("a"))))
+
+
+def test_ir_rejects_bare_gtu():
+    with pytest.raises(ValueError, match="Select mask"):
+        _map_kernel(Select(AbsDiff(Load("a"), Load("b")), Load("a"),
+                           Load("b")))
+
+
+def test_ir_rejects_wide_tiles():
+    with pytest.raises(ValueError, match="column tiles"):
+        LoopKernel(name="t", rows=8, cols=24,
+                   buffers=(Buffer("a"), Buffer("out", out=True)),
+                   expr=SatU8(Add(Load("a"), Const(1))))
+
+
+def test_ir_rejects_i16_output():
+    with pytest.raises(ValueError, match="outputs must be u8"):
+        Buffer("out", elem=I16, out=True)
+
+
+def test_mom_rejects_deep_nests():
+    from repro.vc import compile_kernel
+    ir = LoopKernel(
+        name="deep", rows=32, cols=8,
+        buffers=(Buffer("a"), Buffer("b")),
+        expr=Square(Sub(Load("a"), Load("b"))), reduce=True)
+    binding = Binding(buffers={
+        "a": BufferBinding(np.zeros((32, 8), np.uint8), 8, [0]),
+        "b": BufferBinding(np.zeros((32, 8), np.uint8), 8, [0]),
+    })
+    with pytest.raises(ValueError, match="at most 16 rows"):
+        compile_kernel(ir, "mom", binding)
+
+
+def test_binding_rejects_inconsistent_instances():
+    with pytest.raises(ValueError, match="instance counts"):
+        Binding(buffers={
+            "a": BufferBinding(np.zeros(8, np.uint8), 8, [0, 64]),
+            "b": BufferBinding(np.zeros(8, np.uint8), 8, [0]),
+        })
+
+
+def test_nest_bridges_to_coverage_oracle():
+    from repro.core.vectorize import coverage_for_isa
+    ir = COMPILED["ssd"].ir
+    nest = ir.nest(row_stride_bytes=16)
+    assert nest.inner_trip == 16 and nest.outer_trip == 16
+    assert coverage_for_isa(nest, "mom").elements_per_instruction == 128
+    assert coverage_for_isa(nest, "mmx").elements_per_instruction >= 8
+    assert coverage_for_isa(nest, "alpha").elements_per_instruction == 1
+    mdmx = coverage_for_isa(nest, "mdmx")
+    assert mdmx.paradigm == "mdmx"
+
+
+def test_blend_constants_fold_into_packed_constant_pool():
+    """The blend trace materializes broadcast constants, not per-element
+    immediates: exactly 3 constant loads in the whole MMX preamble."""
+    spec = KERNELS["blend"]
+    built = spec.build("mmx", spec.make_workload(1))
+    loads = [i for i in built.trace if i.op.name == "mmx_ldq"]
+    # 3 constant loads + 2 source tiles per row x 8 rows x instances
+    count = len(spec.make_workload(1).src0)
+    assert len(loads) == 3 + 2 * 8 * count
