@@ -7,6 +7,17 @@ saturated add), and a run/level VLC whose operation counts calibrate the
 synthesized scalar section.  Luma-only, 16x16 macroblocks of four 8x8
 blocks, quality step 16.
 
+Two workload geometries are registered:
+
+* ``mpeg2_encode`` / ``mpeg2_decode`` -- the 32x32 mini-frame used by the
+  Figure 7 grid, where many (isa, way, memory) points share one build.
+* ``mpeg2_frame`` -- one full 720x480 frame (1350 macroblocks, the paper's
+  Mediabench-scale working set) through the same encoder pipeline.  This is
+  the frame-scale target of the ``frame-scale`` preset; it only became
+  buildable when :class:`~repro.emulib.trace.Trace` went columnar -- the
+  scalar configuration alone is ~61 million dynamic instructions, minutes
+  and tens of gigabytes as a list of objects.
+
 Correctness contract: the decoder's output frames equal the encoder's
 reconstructed frames bit-exactly, and every ISA configuration produces
 identical outputs.
@@ -28,16 +39,22 @@ HEIGHT = 32
 MB = 16
 N = 8
 
+#: Geometry of the frame-scale workload: one 720x480 luma frame -- the
+#: paper's mei16v2rec frames are 352x480; 720x480 is full-rate CCIR-601.
+FRAME_WIDTH = 720
+FRAME_HEIGHT = 480
+
 #: Spiral offsets of the paper's fullsearch with win=1 (center + 8 ring).
 SEARCH_OFFSETS = [(0, 0), (-1, -1), (-1, 0), (-1, 1), (0, 1),
                   (1, 1), (1, 0), (1, -1), (0, -1)]
 
 
-def _candidate_positions(mb_y: int, mb_x: int) -> list[tuple[int, int]]:
+def _candidate_positions(mb_y: int, mb_x: int, width: int,
+                         height: int) -> list[tuple[int, int]]:
     out = []
     for dy, dx in SEARCH_OFFSETS:
-        y = min(max(mb_y + dy, 0), HEIGHT - MB)
-        x = min(max(mb_x + dx, 0), WIDTH - MB)
+        y = min(max(mb_y + dy, 0), height - MB)
+        x = min(max(mb_x + dx, 0), width - MB)
         out.append((y, x))
     return out
 
@@ -60,7 +77,7 @@ def _vlc_profile(coded_blocks: list[np.ndarray]) -> SectionProfile:
     return profile
 
 
-def _functional_encode(frames: np.ndarray):
+def _functional_encode(frames: np.ndarray, width: int, height: int):
     """Pure-numpy encoder producing side data and reconstructed frames."""
     prev = frames[0].astype(np.uint8)
     per_frame = []
@@ -69,10 +86,10 @@ def _functional_encode(frames: np.ndarray):
         cur = frames[t]
         recon = np.zeros_like(prev)
         mbs = []
-        for mb_y in range(0, HEIGHT, MB):
-            for mb_x in range(0, WIDTH, MB):
+        for mb_y in range(0, height, MB):
+            for mb_x in range(0, width, MB):
                 blk = cur[mb_y : mb_y + MB, mb_x : mb_x + MB]
-                cands = _candidate_positions(mb_y, mb_x)
+                cands = _candidate_positions(mb_y, mb_x, width, height)
                 windows = [prev[y : y + MB, x : x + MB] for y, x in cands]
                 best = motion_search_ref(windows, blk)
                 pred = windows[best]
@@ -103,8 +120,8 @@ def _functional_encode(frames: np.ndarray):
     return per_frame, np.stack(recons)
 
 
-def build_mpeg2_encode(isa: str, scale: int = 1) -> BuiltApp:
-    frames = video_frames(WIDTH, HEIGHT, count=1 + max(1, scale))
+def _build_encode(isa: str, frames: np.ndarray, width: int,
+                  height: int) -> BuiltApp:
     b, st = make_stages(isa)
     timer = PhaseTimer(b)
 
@@ -117,25 +134,25 @@ def build_mpeg2_encode(isa: str, scale: int = 1) -> BuiltApp:
 
     for t in range(1, frames.shape[0]):
         cur_addr = b.mem.alloc_array(frames[t])
-        recon_addr = b.mem.alloc(HEIGHT * WIDTH)
+        recon_addr = b.mem.alloc(height * width)
         coded_blocks: list[np.ndarray] = []
-        for mb_y in range(0, HEIGHT, MB):
-            for mb_x in range(0, WIDTH, MB):
-                blk_addr = cur_addr + mb_y * WIDTH + mb_x
-                cands = _candidate_positions(mb_y, mb_x)
-                cand_addrs = [prev_addr + y * WIDTH + x for y, x in cands]
-                best = st.motion_search(cand_addrs, WIDTH, blk_addr, WIDTH)
+        for mb_y in range(0, height, MB):
+            for mb_x in range(0, width, MB):
+                blk_addr = cur_addr + mb_y * width + mb_x
+                cands = _candidate_positions(mb_y, mb_x, width, height)
+                cand_addrs = [prev_addr + y * width + x for y, x in cands]
+                best = st.motion_search(cand_addrs, width, blk_addr, width)
                 timer.close("motion_estimation")
-                st.copy_block(cand_addrs[best], WIDTH, pred_addr, MB, MB, MB)
+                st.copy_block(cand_addrs[best], width, pred_addr, MB, MB, MB)
                 timer.close("compensation")
                 subs = [(sy, sx) for sy in (0, N) for sx in (0, N)]
                 # Forward path for all four blocks first, reconstruction
                 # second: keeps each transform's constants resident.
                 coded_flags = []
                 for bi, (sy, sx) in enumerate(subs):
-                    cur_sub = blk_addr + sy * WIDTH + sx
+                    cur_sub = blk_addr + sy * width + sx
                     pred_sub = pred_addr + sy * MB + sx
-                    st.residual8(cur_sub, WIDTH, pred_sub, MB, resid_addr)
+                    st.residual8(cur_sub, width, pred_sub, MB, resid_addr)
                     timer.close("residual")
                     st.transform8(resid_addr, coef_addrs[bi], FDCT_MAT, False)
                     timer.close("fdct")
@@ -147,23 +164,23 @@ def build_mpeg2_encode(isa: str, scale: int = 1) -> BuiltApp:
                         coded_blocks.append(coefs.reshape(N, N).copy())
                 for bi, (sy, sx) in enumerate(subs):
                     pred_sub = pred_addr + sy * MB + sx
-                    rec_sub = (recon_addr + (mb_y + sy) * WIDTH
+                    rec_sub = (recon_addr + (mb_y + sy) * width
                                + mb_x + sx)
                     if coded_flags[bi]:
                         st.dequant8(coef_addrs[bi])
                         timer.close("dequant")
                         st.transform8(coef_addrs[bi], rec_addr, IDCT_MAT, True)
                         timer.close("idct")
-                        st.addblock8(pred_sub, MB, rec_addr, rec_sub, WIDTH)
+                        st.addblock8(pred_sub, MB, rec_addr, rec_sub, width)
                         timer.close("addblock")
                     else:
-                        st.copy_block(pred_sub, MB, rec_sub, WIDTH, N, N)
+                        st.copy_block(pred_sub, MB, rec_sub, width, N, N)
                         timer.close("compensation")
         st.scalar_section(_vlc_profile(coded_blocks), seed=0xE0 + t)
         timer.close("scalar_vlc")
         recons.append(
-            b.mem.load_array(recon_addr, np.uint8, HEIGHT * WIDTH)
-            .reshape(HEIGHT, WIDTH)
+            b.mem.load_array(recon_addr, np.uint8, height * width)
+            .reshape(height, width)
         )
         prev_addr = recon_addr
 
@@ -171,9 +188,25 @@ def build_mpeg2_encode(isa: str, scale: int = 1) -> BuiltApp:
                     phases=timer.phases)
 
 
+def build_mpeg2_encode(isa: str, scale: int = 1) -> BuiltApp:
+    frames = video_frames(WIDTH, HEIGHT, count=1 + max(1, scale))
+    return _build_encode(isa, frames, WIDTH, HEIGHT)
+
+
+def build_mpeg2_frame(isa: str, scale: int = 1) -> BuiltApp:
+    """One full 720x480 P-frame (plus reference) through the encoder.
+
+    ``scale`` adds further P-frames; the frame geometry is fixed -- the
+    point of this target is the Mediabench-scale working set, not a
+    tunable mini-workload.
+    """
+    frames = video_frames(FRAME_WIDTH, FRAME_HEIGHT, count=1 + max(1, scale))
+    return _build_encode(isa, frames, FRAME_WIDTH, FRAME_HEIGHT)
+
+
 def build_mpeg2_decode(isa: str, scale: int = 1) -> BuiltApp:
     frames = video_frames(WIDTH, HEIGHT, count=1 + max(1, scale))
-    side, golden_recons = _functional_encode(frames)
+    side, golden_recons = _functional_encode(frames, WIDTH, HEIGHT)
     b, st = make_stages(isa)
     timer = PhaseTimer(b)
 
@@ -234,4 +267,10 @@ register(AppSpec(
     name="mpeg2_decode",
     description="MPEG-2 style P-frame decoder (parse, IDCT, compensation)",
     build=build_mpeg2_decode,
+))
+
+register(AppSpec(
+    name="mpeg2_frame",
+    description="MPEG-2 encoder over one full 720x480 frame (frame-scale)",
+    build=build_mpeg2_frame,
 ))

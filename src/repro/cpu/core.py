@@ -171,6 +171,14 @@ class Core:
     #: eager-reclamation discipline.
     LATE_RELEASE_POOLS = frozenset({RegPool.MED, RegPool.ACC})
 
+    #: Traces at or above this many instructions stream their
+    #: :class:`TimingRecord`\ s straight from the columnar chunks instead
+    #: of materializing (and caching) the full record list -- the
+    #: frame-scale path.  Below it, the cached list is kept so the
+    #: experiment grid's reuse of one trace across many configurations
+    #: classifies each instruction once.
+    STREAM_THRESHOLD = 1 << 20
+
     #: Zeroing idioms rename to a hard-wired zero value and allocate no
     #: physical register -- standard renamer practice; essential for the
     #: accumulator pool, whose clear-accumulate-read pattern would
@@ -229,8 +237,18 @@ class Core:
         """
         cfg = self.config
         width = cfg.width
-        records = trace.timing_records()
-        n = len(records)
+        n = len(trace)
+        # Record source: the experiment grid simulates one (small) trace
+        # under many machine configurations, so the cached record list
+        # amortizes classification across runs.  Frame-scale traces are
+        # simulated once each and never fit comfortably as object records;
+        # they stream TimingRecords chunk by chunk instead, keeping peak
+        # memory at the columnar store plus one in-flight window (fetch
+        # consumes records strictly in program order, exactly once).
+        if trace.records_cached() or n < self.STREAM_THRESHOLD:
+            next_record = iter(trace.timing_records()).__next__
+        else:
+            next_record = trace.iter_timing_records().__next__
 
         rob: deque[_EventEntry] = deque()     # program order; head leftmost
         fetch_queue: deque[_EventEntry] = deque()
@@ -464,7 +482,7 @@ class Core:
                 fetched = 0
                 while (fetch_idx < n and fetched < width
                        and len(fetch_queue) < fetch_queue_cap):
-                    rec = records[fetch_idx]
+                    rec = next_record()
                     entry = _EventEntry(rec, cycle)
                     fetch_queue.append(entry)
                     fetch_idx += 1

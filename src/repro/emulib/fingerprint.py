@@ -36,11 +36,25 @@ def source_fingerprint() -> str:
 
 
 def trace_digest(trace: Trace) -> str:
-    """Digest of a dynamic instruction stream (order- and field-sensitive)."""
+    """Digest of a dynamic instruction stream (order- and field-sensitive).
+
+    Hashes the ``repr`` of each row's field tuple.  The columnar store
+    yields those tuples directly (:meth:`~repro.emulib.trace.Trace.
+    iter_field_tuples`) with the same Python value types a materialized
+    :class:`~repro.emulib.trace.DynInstr` carries, so digests are
+    bit-identical to the historical list-of-objects encoding and
+    independent of chunk geometry; any other sequence of instruction
+    records hashes through the object fields.
+    """
     digest = hashlib.sha256(trace.isa.encode())
-    for ins in trace:
-        record = (ins.op.isa, ins.op.name, ins.srcs, ins.dsts, ins.addr,
-                  ins.nbytes, ins.stride, ins.vl, ins.taken, ins.site)
-        digest.update(repr(record).encode())
-        digest.update(b"\n")
+    update = digest.update
+    if isinstance(trace, Trace):
+        rows = trace.iter_field_tuples()
+    else:
+        rows = ((ins.op.isa, ins.op.name, ins.srcs, ins.dsts, ins.addr,
+                 ins.nbytes, ins.stride, ins.vl, ins.taken, ins.site)
+                for ins in trace)
+    for record in rows:
+        update(repr(record).encode())
+        update(b"\n")
     return digest.hexdigest()[:16]

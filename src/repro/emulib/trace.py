@@ -1,10 +1,38 @@
 """Dynamic instruction traces.
 
 The builders in this package execute kernels functionally and record one
-:class:`DynInstr` per dynamic instruction -- the same information the paper
+dynamic instruction per emitted operation -- the same information the paper
 obtains by filtering an ATOM-instrumented instruction stream into the Jinks
 simulator.  The out-of-order core in :mod:`repro.cpu.core` consumes these
 records; it never re-executes data computation.
+
+Storage model
+-------------
+Frame-scale workloads (a single 720x480 MPEG-2 frame is tens of millions of
+dynamic instructions) made the original list-of-:class:`DynInstr` encoding
+the limiting factor: ~225 bytes and three heap objects per instruction,
+gigabytes per trace, all resident before the first simulated cycle.
+:class:`Trace` now stores instructions **columnar**: one structure-of-arrays
+chunk per :data:`CHUNK_ROWS` rows (numpy arrays for opcode id / operand CSR /
+address / size / stride / VL / branch outcome / site), with a small
+plain-list staging buffer for the rows of the not-yet-sealed tail.  The
+public API is unchanged -- :meth:`Trace.append` still takes a
+:class:`DynInstr`, iteration still yields :class:`DynInstr` objects
+(materialized on demand), and ``trace.instructions`` remains a mutable
+list-like escape hatch -- so builders, the vectorizing compiler and the
+digest code are untouched, while the cycle-level core can stream
+:class:`TimingRecord` chunks without ever materializing the object form
+(:meth:`Trace.iter_timing_records`).
+
+Two invariants the tests pin:
+
+* **Digest stability** -- :func:`repro.emulib.fingerprint.trace_digest`
+  hashes the same bytes whether a row sits in the staging tail or a sealed
+  chunk; field values are canonicalized to plain Python ints/bools at
+  append time, so chunk geometry can never leak into a digest.
+* **Summary equivalence** -- :class:`TraceSummary` statistics are computed
+  by vectorized reductions over the columns, but match the historical
+  per-record loop integer-for-integer.
 
 Register encoding
 -----------------
@@ -15,9 +43,22 @@ model can use them as dictionary keys cheaply.  Use :func:`reg` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from bisect import bisect_right
+
+import numpy as np
 
 from ..isa.model import InstrClass, Opcode, RegPool
+
+#: Rows per sealed columnar chunk.  65536 rows cost ~3 MiB of column data;
+#: the staging tail holds at most this many Python-object rows, which is
+#: what bounds the per-trace object overhead regardless of trace length.
+CHUNK_ROWS = 1 << 16
+
+#: ``taken`` column encoding (int8): -1 = not a branch, 0/1 = outcome.
+_TAKEN_DECODE = (None, False, True)        # indexed by encoded + 1
+
+#: RegPool by pool id, avoiding an enum construction per operand decode.
+_POOL_BY_ID = tuple(RegPool)
 
 
 def reg(pool: RegPool, index: int) -> int:
@@ -111,6 +152,11 @@ class TimingRecord:
     the classification depends only on the trace, which the experiment grid
     reuses across every (width, memory model) point.  A record folds those
     lookups into plain attributes, computed once per trace.
+
+    ``instr`` carries the object form for the memory models; in streaming
+    mode (:meth:`Trace.iter_timing_records`) it is materialized only for
+    memory-class rows -- the only rows whose record the core hands to a
+    memory model -- and is ``None`` elsewhere.
     """
 
     #: values of :attr:`kind`, ordered by issue-path frequency.
@@ -163,6 +209,212 @@ class TimingRecord:
         self.taken = instr.taken
 
 
+class _OpMeta:
+    """Per-opcode constants folded once per trace for fast record builds.
+
+    Everything :class:`TimingRecord` derives from the :class:`Opcode` (and
+    nothing else) lives here, so the per-row work of a record build is pure
+    attribute assignment.  The equivalence with the reference constructor
+    is pinned by ``tests/test_trace_columnar.py``.
+    """
+
+    __slots__ = ("op", "iclass", "kind", "is_memory", "is_branch", "is_jump",
+                 "is_nop", "is_media_compute", "chains_class", "op_name",
+                 "latency", "acc_pair", "writes_acc")
+
+    def __init__(self, op: Opcode) -> None:
+        iclass = op.iclass
+        self.op = op
+        self.iclass = iclass
+        self.is_memory = iclass.is_memory
+        self.is_branch = iclass == InstrClass.BRANCH
+        self.is_jump = iclass == InstrClass.JUMP
+        self.is_nop = iclass == InstrClass.NOP
+        if self.is_memory:
+            self.kind = TimingRecord.KIND_MEMORY
+        elif self.is_branch or self.is_jump:
+            self.kind = TimingRecord.KIND_CONTROL
+        elif self.is_nop:
+            self.kind = TimingRecord.KIND_NOP
+        else:
+            self.kind = TimingRecord.KIND_COMPUTE
+        self.is_media_compute = iclass in (InstrClass.MED_SIMPLE,
+                                           InstrClass.MED_COMPLEX)
+        #: instruction-class half of :attr:`TimingRecord.chains`.
+        self.chains_class = iclass.is_media or self.is_memory
+        self.op_name = op.name
+        self.latency = op.latency
+        self.acc_pair = op.reads_acc and op.writes_acc
+        self.writes_acc = op.writes_acc
+
+
+class _Stage:
+    """Staging tail: parallel plain lists for the not-yet-sealed rows.
+
+    Values are canonical Python objects exactly as a :class:`DynInstr`
+    would hold them (``addr``/``taken`` keep their ``None``), so reads from
+    the tail need no decoding and sealing is one bulk conversion.
+    """
+
+    __slots__ = ("op", "srcs", "dsts", "addr", "nbytes", "stride", "vl",
+                 "taken", "site")
+
+    _FIELDS = ("op", "srcs", "dsts", "addr", "nbytes", "stride", "vl",
+               "taken", "site")
+
+    def __init__(self) -> None:
+        for name in self._FIELDS:
+            setattr(self, name, [])
+
+    def __len__(self) -> int:
+        return len(self.op)
+
+    def clear(self) -> None:
+        for name in self._FIELDS:
+            getattr(self, name).clear()
+
+    def truncate(self, keep: int) -> None:
+        for name in self._FIELDS:
+            del getattr(self, name)[keep:]
+
+    def row(self, i: int) -> tuple:
+        return (self.op[i], self.srcs[i], self.dsts[i], self.addr[i],
+                self.nbytes[i], self.stride[i], self.vl[i], self.taken[i],
+                self.site[i])
+
+    def set_row(self, i: int, row: tuple) -> None:
+        (self.op[i], self.srcs[i], self.dsts[i], self.addr[i],
+         self.nbytes[i], self.stride[i], self.vl[i], self.taken[i],
+         self.site[i]) = row
+
+    def iter_rows(self):
+        return zip(self.op, self.srcs, self.dsts, self.addr, self.nbytes,
+                   self.stride, self.vl, self.taken, self.site)
+
+
+def _csr(tuples: list[tuple[int, ...]]) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a list of operand tuples into (offsets, values) arrays.
+
+    Offsets fit int32 by construction (at most ``CHUNK_ROWS`` rows of a
+    few operands each); values fit int16 because an encoded register is
+    ``(pool << 8) | index`` with four pools and 8-bit indices.
+    """
+    offsets = np.zeros(len(tuples) + 1, dtype=np.int32)
+    lengths = np.fromiter(map(len, tuples), dtype=np.int32, count=len(tuples))
+    np.cumsum(lengths, out=offsets[1:])
+    values = np.fromiter(
+        (v for t in tuples for v in t), dtype=np.int16, count=int(offsets[-1]))
+    return offsets, values
+
+
+def _fit(values: list, small: np.dtype, wide: np.dtype) -> np.ndarray:
+    """A column in its compact dtype, widened only when a value demands it.
+
+    Almost every row fits the compact form (nbytes <= 8, strides within a
+    frame, VL <= matrix rows); the wide fallback keeps the store correct
+    for synthetic or adversarial traces without taxing the common case.
+    """
+    arr = np.asarray(values, dtype=wide)
+    if arr.size == 0:
+        return arr.astype(small)
+    info = np.iinfo(small)
+    lo, hi = int(arr.min()), int(arr.max())
+    if lo >= info.min and hi <= info.max:
+        return arr.astype(small)
+    return arr
+
+
+class _Chunk:
+    """One sealed block of rows in structure-of-arrays form.
+
+    Fixed-width columns are numpy arrays of one scalar per row; the
+    variable-width operand lists use a CSR pair (``off[i]:off[i+1]`` slices
+    ``val``).  ``addr`` stores 0 for address-less rows, disambiguated by
+    ``has_addr`` (address 0 itself never occurs -- the functional memory
+    allocates above :data:`~repro.emulib.memory.Memory.BASE` -- but the
+    column does not rely on that).
+    """
+
+    __slots__ = ("n", "op", "addr", "has_addr", "nbytes", "stride", "vl",
+                 "taken", "site", "src_off", "src_val", "dst_off", "dst_val")
+
+    def __init__(self, stage: _Stage) -> None:
+        self.n = len(stage)
+        self.op = _fit(stage.op, np.int16, np.int32)
+        self.has_addr = np.fromiter(
+            (a is not None for a in stage.addr), dtype=bool, count=self.n)
+        self.addr = np.fromiter(
+            (0 if a is None else a for a in stage.addr),
+            dtype=np.uint64, count=self.n)
+        self.nbytes = _fit(stage.nbytes, np.int16, np.int64)
+        self.stride = _fit(stage.stride, np.int32, np.int64)
+        self.vl = _fit(stage.vl, np.int16, np.int64)
+        self.taken = np.fromiter(
+            (-1 if t is None else int(t) for t in stage.taken),
+            dtype=np.int8, count=self.n)
+        self.site = _fit(stage.site, np.int32, np.int64)
+        self.src_off, self.src_val = _csr(stage.srcs)
+        self.dst_off, self.dst_val = _csr(stage.dsts)
+
+    def head(self, keep: int) -> "_Chunk":
+        """A chunk holding only the first ``keep`` rows (shares storage)."""
+        clone = _Chunk.__new__(_Chunk)
+        clone.n = keep
+        for name in ("op", "has_addr", "addr", "nbytes", "stride", "vl",
+                     "taken", "site"):
+            setattr(clone, name, getattr(self, name)[:keep])
+        clone.src_off = self.src_off[:keep + 1]
+        clone.src_val = self.src_val[:self.src_off[keep]]
+        clone.dst_off = self.dst_off[:keep + 1]
+        clone.dst_val = self.dst_val[:self.dst_off[keep]]
+        return clone
+
+    def row(self, i: int) -> tuple:
+        """One row decoded back to canonical Python values (op still an id)."""
+        s0, s1 = self.src_off[i], self.src_off[i + 1]
+        d0, d1 = self.dst_off[i], self.dst_off[i + 1]
+        return (
+            int(self.op[i]),
+            tuple(int(v) for v in self.src_val[s0:s1]),
+            tuple(int(v) for v in self.dst_val[d0:d1]),
+            int(self.addr[i]) if self.has_addr[i] else None,
+            int(self.nbytes[i]),
+            int(self.stride[i]),
+            int(self.vl[i]),
+            _TAKEN_DECODE[int(self.taken[i]) + 1],
+            int(self.site[i]),
+        )
+
+    def iter_rows(self):
+        """All rows as canonical Python tuples (bulk ``tolist`` decode)."""
+        op = self.op.tolist()
+        has_addr = self.has_addr.tolist()
+        addr = self.addr.tolist()
+        nbytes = self.nbytes.tolist()
+        stride = self.stride.tolist()
+        vl = self.vl.tolist()
+        taken = self.taken.tolist()
+        site = self.site.tolist()
+        src_off = self.src_off.tolist()
+        src_val = self.src_val.tolist()
+        dst_off = self.dst_off.tolist()
+        dst_val = self.dst_val.tolist()
+        for i in range(self.n):
+            yield (op[i],
+                   tuple(src_val[src_off[i]:src_off[i + 1]]),
+                   tuple(dst_val[dst_off[i]:dst_off[i + 1]]),
+                   addr[i] if has_addr[i] else None,
+                   nbytes[i], stride[i], vl[i],
+                   _TAKEN_DECODE[taken[i] + 1], site[i])
+
+    def nbytes_storage(self) -> int:
+        """Bytes of column storage this chunk occupies (diagnostics)."""
+        return sum(getattr(self, name).nbytes
+                   for name in ("op", "has_addr", "addr", "nbytes", "stride",
+                                "vl", "taken", "site", "src_off", "src_val",
+                                "dst_off", "dst_val"))
+
+
 class TraceSummary:
     """One-pass summary of a trace: statistics plus timing records.
 
@@ -170,77 +422,376 @@ class TraceSummary:
     mutated, so repeated simulation of the same trace (the experiment grid
     runs each trace under many machine/memory configurations) pays the
     O(trace) walk once instead of once per run.
+
+    Statistics are vectorized reductions over the columnar store; the
+    per-instruction :attr:`records` list is itself built lazily on first
+    access, so frame-scale consumers that stream records
+    (:meth:`Trace.iter_timing_records`) get the statistics without ever
+    materializing the record list.
     """
 
-    __slots__ = ("records", "class_histogram", "opcode_histogram",
-                 "operation_count", "memory_references", "branch_count")
+    __slots__ = ("_trace", "_records", "_length", "class_histogram",
+                 "opcode_histogram", "operation_count", "memory_references",
+                 "branch_count")
 
-    def __init__(self, instructions: list[DynInstr]) -> None:
-        records = [TimingRecord(ins) for ins in instructions]
+    def __init__(self, trace: "Trace") -> None:
+        self._trace = trace
+        self._records: list[TimingRecord] | None = None
+        self._length = len(trace)
+
+        ops = trace._ops
+        nops = len(ops)
+        counts = np.zeros(nops, dtype=np.int64)
+        operations = memory_refs = 0
+        if nops:
+            lanes = np.array([max(1, op.elem.lanes) for op in ops],
+                             dtype=np.int64)
+            is_mem = np.array([op.iclass.is_memory for op in ops], dtype=bool)
+            for op_ids, vl in trace._stat_blocks():
+                counts += np.bincount(op_ids, minlength=nops)
+                operations += int((vl * lanes[op_ids]).sum())
+                memory_refs += int(vl[is_mem[op_ids]].sum())
+
         class_hist: dict[InstrClass, int] = {}
         opcode_hist: dict[str, int] = {}
-        operations = memory_refs = branches = 0
-        for rec in records:
-            class_hist[rec.iclass] = class_hist.get(rec.iclass, 0) + 1
-            opcode_hist[rec.op_name] = opcode_hist.get(rec.op_name, 0) + 1
-            operations += rec.vl * max(1, rec.instr.op.elem.lanes)
-            if rec.is_memory:
-                memory_refs += rec.vl
-            if rec.is_branch:
-                branches += 1
-        self.records = records
+        branches = 0
+        for op, count in zip(ops, counts.tolist()):
+            if not count:
+                continue
+            iclass = op.iclass
+            class_hist[iclass] = class_hist.get(iclass, 0) + count
+            opcode_hist[op.name] = opcode_hist.get(op.name, 0) + count
+            if iclass == InstrClass.BRANCH:
+                branches += count
         self.class_histogram = class_hist
         self.opcode_histogram = opcode_hist
         self.operation_count = operations
         self.memory_references = memory_refs
         self.branch_count = branches
 
+    @property
+    def records(self) -> list[TimingRecord]:
+        """Preclassified per-instruction records (built on first access).
 
-@dataclass
+        Raises if the trace was mutated after this summary was computed:
+        the statistics above describe the old stream, and silently
+        pairing them with records of the new one is exactly the
+        desynchronization bug class the summary cache exists to prevent.
+        Re-fetch through ``trace.summary()`` after mutation instead.
+        """
+        if self._records is None:
+            trace = self._trace
+            if trace._summary is not self or len(trace) != self._length:
+                raise RuntimeError(
+                    "stale TraceSummary: the trace was mutated after "
+                    "summary(); call trace.summary() again")
+            self._records = list(trace.iter_timing_records(
+                materialize="all"))
+        return self._records
+
+    @property
+    def records_built(self) -> bool:
+        return self._records is not None
+
+
 class Trace:
     """An ordered dynamic instruction stream plus summary statistics.
 
     Statistics and timing records are computed once and cached; mutating
-    the trace through :meth:`append` / :meth:`extend` invalidates the
-    cache.  Code that mutates ``instructions`` directly must call
-    :meth:`invalidate_summary` afterwards.
+    the trace through any path -- :meth:`append` / :meth:`extend` /
+    :meth:`truncate` or the ``instructions`` view -- invalidates the
+    cache.  Code holding a previously returned :class:`TraceSummary` can
+    still call :meth:`invalidate_summary` explicitly, which remains the
+    documented contract for direct ``instructions`` mutation.
     """
 
-    isa: str
-    instructions: list[DynInstr] = field(default_factory=list)
-    _summary: "TraceSummary | None" = field(
-        default=None, init=False, repr=False, compare=False)
+    __slots__ = ("isa", "_ops", "_op_ids", "_chunks", "_chunk_ends",
+                 "_stage", "_sealed", "_chunk_rows", "_summary")
+
+    def __init__(self, isa: str, instructions=None, *,
+                 chunk_rows: int = CHUNK_ROWS) -> None:
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        self.isa = isa
+        self._ops: list[Opcode] = []            # op id -> Opcode
+        self._op_ids: dict[int, int] = {}       # id(Opcode) -> op id
+        self._chunks: list[_Chunk] = []
+        self._chunk_ends: list[int] = []        # cumulative rows per chunk
+        self._stage = _Stage()
+        self._sealed = 0                        # rows in sealed chunks
+        self._chunk_rows = chunk_rows
+        self._summary: TraceSummary | None = None
+        if instructions:
+            for instr in instructions:
+                self.append(instr)
+
+    def __repr__(self) -> str:
+        return (f"Trace(isa={self.isa!r}, instructions={len(self)}, "
+                f"chunks={len(self._chunks)})")
+
+    # --- mutation ---------------------------------------------------------------
 
     def append(self, instr: DynInstr) -> DynInstr:
-        self.instructions.append(instr)
+        """Append one instruction (columnar row) and return it."""
+        addr = instr.addr
+        taken = instr.taken
+        stage = self._stage
+        stage.op.append(self._op_id(instr.op))
+        stage.srcs.append(tuple(map(int, instr.srcs)))
+        stage.dsts.append(tuple(map(int, instr.dsts)))
+        stage.addr.append(None if addr is None else int(addr))
+        stage.nbytes.append(int(instr.nbytes))
+        stage.stride.append(int(instr.stride))
+        stage.vl.append(int(instr.vl))
+        stage.taken.append(None if taken is None else bool(taken))
+        stage.site.append(int(instr.site))
         self._summary = None
+        if len(stage.op) >= self._chunk_rows:
+            self._seal()
         return instr
 
     def extend(self, other: "Trace") -> None:
-        """Concatenate another trace (used to stitch program phases)."""
-        self.instructions.extend(other.instructions)
+        """Concatenate another trace (used to stitch program phases).
+
+        Rows are **copied by value** -- the two traces share no mutable
+        state afterwards, so later mutation of either can never corrupt
+        the other or desynchronize a cached summary it holds (the seed
+        list-of-objects encoding aliased ``DynInstr`` instances here).
+        """
+        rows = other._raw_rows()
+        if other is self:
+            rows = list(rows)           # snapshot before appending to self
+        for op, srcs, dsts, addr, nbytes, stride, vl, taken, site in rows:
+            self._append_row(self._op_id(op), srcs, dsts, addr, nbytes,
+                             stride, vl, taken, site)
+        self._summary = None
+
+    def truncate(self, length: int) -> None:
+        """Drop every row at index ``length`` and beyond."""
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        if length >= len(self):
+            return
+        if length >= self._sealed:
+            self._stage.truncate(length - self._sealed)
+        else:
+            kept: list[_Chunk] = []
+            ends: list[int] = []
+            total = 0
+            for chunk in self._chunks:
+                if total + chunk.n <= length:
+                    kept.append(chunk)
+                    total += chunk.n
+                elif total < length:
+                    kept.append(chunk.head(length - total))
+                    total = length
+                else:
+                    break
+                ends.append(total)
+            self._chunks = kept
+            self._chunk_ends = ends
+            self._sealed = length
+            self._stage.clear()
         self._summary = None
 
     def invalidate_summary(self) -> None:
         """Drop cached statistics after direct ``instructions`` mutation."""
         self._summary = None
 
+    # --- internal plumbing ------------------------------------------------------
+
+    def _op_id(self, op: Opcode) -> int:
+        """Intern an opcode; keyed by identity (opcodes are singletons)."""
+        op_id = self._op_ids.get(id(op))
+        if op_id is None:
+            op_id = len(self._ops)
+            self._ops.append(op)
+            self._op_ids[id(op)] = op_id
+        return op_id
+
+    def _append_row(self, op_id: int, srcs, dsts, addr, nbytes, stride,
+                    vl, taken, site) -> None:
+        """Raw append of already-canonical values (no DynInstr needed)."""
+        stage = self._stage
+        stage.op.append(op_id)
+        stage.srcs.append(srcs)
+        stage.dsts.append(dsts)
+        stage.addr.append(addr)
+        stage.nbytes.append(nbytes)
+        stage.stride.append(stride)
+        stage.vl.append(vl)
+        stage.taken.append(taken)
+        stage.site.append(site)
+        if len(stage.op) >= self._chunk_rows:
+            self._seal()
+
+    def _seal(self) -> None:
+        """Convert the staging tail into a sealed columnar chunk."""
+        if not len(self._stage):
+            return
+        chunk = _Chunk(self._stage)
+        self._chunks.append(chunk)
+        self._sealed += chunk.n
+        self._chunk_ends.append(self._sealed)
+        self._stage.clear()
+
+    def _row(self, index: int) -> tuple:
+        """Row ``index`` with the op decoded to its :class:`Opcode`.
+
+        Sealed rows locate their chunk by bisecting the cumulative-end
+        table, so indexed access stays O(log chunks) however long the
+        trace grows (the reference core walks ``instructions`` by index).
+        """
+        if index < self._sealed:
+            which = bisect_right(self._chunk_ends, index)
+            start = self._chunk_ends[which - 1] if which else 0
+            row = self._chunks[which].row(index - start)
+        else:
+            row = self._stage.row(index - self._sealed)
+        return (self._ops[row[0]],) + row[1:]
+
+    def _raw_rows(self):
+        """Every row as a canonical tuple, op decoded to its Opcode."""
+        ops = self._ops
+        for chunk in self._chunks:
+            for row in chunk.iter_rows():
+                yield (ops[row[0]],) + row[1:]
+        for row in self._stage.iter_rows():
+            yield (ops[row[0]],) + row[1:]
+
+    def _stat_blocks(self):
+        """(op_id array, vl array) per storage block, for summary stats."""
+        for chunk in self._chunks:
+            yield chunk.op, chunk.vl
+        if len(self._stage):
+            yield (np.asarray(self._stage.op, dtype=np.int32),
+                   np.asarray(self._stage.vl, dtype=np.int64))
+
+    def _materialize(self, row: tuple) -> DynInstr:
+        op, srcs, dsts, addr, nbytes, stride, vl, taken, site = row
+        return DynInstr(op, srcs=srcs, dsts=dsts, addr=addr, nbytes=nbytes,
+                        stride=stride, vl=vl, taken=taken, site=site)
+
+    # --- sequence protocol ------------------------------------------------------
+
     def __len__(self) -> int:
-        return len(self.instructions)
+        return self._sealed + len(self._stage)
 
     def __iter__(self):
-        return iter(self.instructions)
+        for row in self._raw_rows():
+            yield self._materialize(row)
 
     def __getitem__(self, idx):
-        return self.instructions[idx]
+        if isinstance(idx, slice):
+            return [self._materialize(self._row(i))
+                    for i in range(*idx.indices(len(self)))]
+        n = len(self)
+        if idx < 0:
+            idx += n
+        if not 0 <= idx < n:
+            raise IndexError("trace index out of range")
+        return self._materialize(self._row(idx))
+
+    @property
+    def instructions(self) -> "_InstructionList":
+        """Mutable list-like view of the stream (the escape hatch).
+
+        Reads materialize :class:`DynInstr` objects on demand; writes are
+        decoded back into the columnar store, so the view never aliases
+        storage with another trace.  Callers that mutate through it should
+        still call :meth:`invalidate_summary` per the historical contract
+        (mutations also invalidate automatically, making that call
+        idempotent rather than load-bearing).
+        """
+        return _InstructionList(self)
+
+    # --- digest / streaming access ----------------------------------------------
+
+    def iter_field_tuples(self):
+        """Per-row ``(isa, name, srcs, dsts, addr, nbytes, stride, vl,
+        taken, site)`` tuples -- exactly the fields (and Python types) of
+        the materialized :class:`DynInstr`, without building one.  The
+        trace digest hashes the ``repr`` of these, so their layout is
+        part of the digest-compatibility contract (DESIGN.md section 5).
+        """
+        for op, *rest in self._raw_rows():
+            yield (op.isa, op.name, *rest)
+
+    def iter_timing_records(self, materialize: str = "memory"):
+        """Stream :class:`TimingRecord` per row without retaining them.
+
+        Args:
+            materialize: which rows get a backing :class:`DynInstr` in
+                ``record.instr`` -- ``"memory"`` (default; the only rows
+                whose object form the core hands to a memory model) or
+                ``"all"`` (full compatibility, used for the cached
+                :meth:`timing_records` list).
+
+        Record attributes are identical to ``TimingRecord(instr)``; the
+        per-opcode constants are folded once per trace (:class:`_OpMeta`)
+        and the per-row work is plain assignment over bulk-decoded
+        columns.
+        """
+        want_all = materialize == "all"
+        metas = [_OpMeta(op) for op in self._ops]
+        pools = _POOL_BY_ID
+        med = RegPool.MED
+        for op_id, srcs, dsts, addr, nbytes, stride, vl, taken, site \
+                in (row for chunk in self._chunks
+                    for row in chunk.iter_rows()):
+            yield self._record(metas[op_id], srcs, dsts, addr, nbytes,
+                               stride, vl, taken, site, want_all, pools, med)
+        for op_id, srcs, dsts, addr, nbytes, stride, vl, taken, site \
+                in self._stage.iter_rows():
+            yield self._record(metas[op_id], srcs, dsts, addr, nbytes,
+                               stride, vl, taken, site, want_all, pools, med)
+
+    def _record(self, meta: _OpMeta, srcs, dsts, addr, nbytes, stride, vl,
+                taken, site, want_all: bool, pools, med) -> TimingRecord:
+        rec = TimingRecord.__new__(TimingRecord)
+        if want_all or meta.is_memory:
+            rec.instr = DynInstr(meta.op, srcs=srcs, dsts=dsts, addr=addr,
+                                 nbytes=nbytes, stride=stride, vl=vl,
+                                 taken=taken, site=site)
+        else:
+            rec.instr = None
+        rec.iclass = meta.iclass
+        rec.kind = meta.kind
+        rec.is_memory = meta.is_memory
+        rec.is_branch = meta.is_branch
+        rec.is_jump = meta.is_jump
+        rec.is_nop = meta.is_nop
+        rec.chains = vl > 1 and meta.chains_class
+        rec.op_name = meta.op_name
+        rec.latency = meta.latency
+        rec.vl = vl
+        rec.exec_rows = vl if meta.is_media_compute else 1
+        rec.acc_chain_eligible = meta.acc_pair and meta.is_media_compute \
+            and vl > 1
+        rec.writes_acc = meta.writes_acc
+        rec.srcs = srcs
+        if dsts:
+            charge = vl if vl > 1 else 1
+            rec.dsts = tuple(
+                (dst, pool, charge if pool == med else 1)
+                for dst, pool in ((d, pools[d >> 8]) for d in dsts))
+        else:
+            rec.dsts = ()
+        rec.site = site
+        rec.taken = taken
+        return rec
 
     # --- statistics ------------------------------------------------------------
 
     def summary(self) -> TraceSummary:
         """The cached one-pass summary (recomputed after mutation)."""
         if self._summary is None:
-            self._summary = TraceSummary(self.instructions)
+            self._summary = TraceSummary(self)
         return self._summary
+
+    def records_cached(self) -> bool:
+        """Whether a summary with a built record list is already cached."""
+        return self._summary is not None and self._summary.records_built
 
     def timing_records(self) -> list[TimingRecord]:
         """Preclassified per-instruction records for the cycle-level core."""
@@ -267,3 +818,114 @@ class Trace:
 
     def branch_count(self) -> int:
         return self.summary().branch_count
+
+    def storage_bytes(self) -> int:
+        """Approximate bytes of sealed column storage (diagnostics; the
+        staging tail and interning tables are not counted)."""
+        return sum(chunk.nbytes_storage() for chunk in self._chunks)
+
+
+class _InstructionList:
+    """Mutable list-like view over a :class:`Trace` (the escape hatch).
+
+    Supports the operations historical callers used on the raw list --
+    ``len`` / indexing / iteration / ``append`` / ``extend`` /
+    ``del view[mark:]`` truncation / item assignment -- by translating
+    them onto the columnar store.  Tail truncation and appends are O(tail);
+    arbitrary deletions and insertions rebuild the store (escape-hatch
+    operations, not hot paths).
+    """
+
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: Trace) -> None:
+        self._trace = trace
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    def __iter__(self):
+        return iter(self._trace)
+
+    def __getitem__(self, idx):
+        return self._trace[idx]
+
+    def append(self, instr: DynInstr) -> None:
+        self._trace.append(instr)
+
+    def extend(self, instrs) -> None:
+        trace = self._trace
+        for instr in instrs:
+            trace.append(instr)
+
+    def clear(self) -> None:
+        self._trace.truncate(0)
+
+    def __setitem__(self, index: int, instr: DynInstr) -> None:
+        if isinstance(index, slice):
+            raise TypeError("slice assignment is not supported; "
+                            "rebuild the trace instead")
+        trace = self._trace
+        n = len(trace)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("trace index out of range")
+        sealed = trace._sealed
+        if index >= sealed:
+            trace._stage.set_row(index - sealed, (
+                trace._op_id(instr.op), tuple(map(int, instr.srcs)),
+                tuple(map(int, instr.dsts)),
+                None if instr.addr is None else int(instr.addr),
+                int(instr.nbytes), int(instr.stride), int(instr.vl),
+                None if instr.taken is None else bool(instr.taken),
+                int(instr.site)))
+            trace._summary = None
+        else:
+            rows = list(trace)
+            rows[index] = instr
+            self._rebuild(rows)
+
+    def __delitem__(self, index) -> None:
+        trace = self._trace
+        n = len(trace)
+        if isinstance(index, slice):
+            start, stop, step = index.indices(n)
+            if step != 1:
+                raise TypeError("extended-slice deletion is not supported")
+            if start >= stop:
+                return
+            if stop >= n:
+                trace.truncate(start)       # the common dry-run discard
+                return
+            rows = list(trace)
+            del rows[start:stop]
+            self._rebuild(rows)
+            return
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("trace index out of range")
+        if index == n - 1:
+            trace.truncate(index)
+            return
+        rows = list(trace)
+        del rows[index]
+        self._rebuild(rows)
+
+    def insert(self, index: int, instr: DynInstr) -> None:
+        rows = list(self._trace)
+        rows.insert(index, instr)
+        self._rebuild(rows)
+
+    def _rebuild(self, rows: list[DynInstr]) -> None:
+        trace = self._trace
+        trace._chunks.clear()
+        trace._chunk_ends.clear()
+        trace._stage.clear()
+        trace._sealed = 0
+        trace._ops.clear()
+        trace._op_ids.clear()
+        for instr in rows:
+            trace.append(instr)
+        trace._summary = None

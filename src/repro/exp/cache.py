@@ -12,13 +12,15 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 #: Bump when the entry layout changes; old entries become misses.
 ENTRY_VERSION = 1
 
-#: Minimum age before :meth:`ResultCache.prune` may sweep a ``*.tmp``
-#: file: any younger one may belong to a writer mid-atomic-rename.
+#: Minimum age before :meth:`ResultCache.prune` / :meth:`ResultCache.clear`
+#: may sweep a ``*.tmp`` file: any younger one may belong to a writer
+#: mid-atomic-rename.
 TMP_GRACE_SECONDS = 60.0
 
 
@@ -73,6 +75,25 @@ class ResultCache:
     def size_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.entries())
 
+    def _sweep_tmp(self, cutoff: float) -> None:
+        """Unlink ``*.tmp`` files last touched at or before ``cutoff``.
+
+        The grace window encoded in every cutoff (at least
+        :data:`TMP_GRACE_SECONDS`) is what keeps sweeping safe against
+        live writers: a younger temp file belongs to a writer between
+        ``mkstemp`` and its atomic rename, and deleting it would break
+        the rename.  Both :meth:`prune` and :meth:`clear` sweep through
+        here so the safety rule cannot diverge between them.
+        """
+        if not self.directory.is_dir():
+            return
+        for orphan in self.directory.glob("*.tmp"):
+            try:
+                if orphan.stat().st_mtime <= cutoff:
+                    orphan.unlink()
+            except OSError:
+                pass
+
     def prune(self, max_age_seconds: float, *,
               now: float | None = None) -> int:
         """Delete entries whose file is older than ``max_age_seconds``.
@@ -83,13 +104,9 @@ class ResultCache:
         (readers holding an open handle keep their snapshot; late
         ``get``\\ s see a clean miss), and ``*.tmp`` files are swept only
         once older than both the requested age and
-        :data:`TMP_GRACE_SECONDS` -- a younger temp file belongs to a
-        live writer between ``mkstemp`` and its atomic rename, and
-        deleting it would break the rename.  Returns how many entries
-        were removed (orphans don't count).
+        :data:`TMP_GRACE_SECONDS` (see :meth:`_sweep_tmp`).  Returns how
+        many entries were removed (orphans don't count).
         """
-        import time
-
         if max_age_seconds < 0:
             raise ValueError("max_age_seconds must be >= 0")
         moment = time.time() if now is None else now
@@ -102,21 +119,19 @@ class ResultCache:
                     removed += 1
             except OSError:      # raced with a writer/other pruner: skip
                 pass
-        tmp_cutoff = moment - max(max_age_seconds, TMP_GRACE_SECONDS)
-        if self.directory.is_dir():
-            for orphan in self.directory.glob("*.tmp"):
-                try:
-                    if orphan.stat().st_mtime <= tmp_cutoff:
-                        orphan.unlink()
-                except OSError:
-                    pass
+        self._sweep_tmp(moment - max(max_age_seconds, TMP_GRACE_SECONDS))
         return removed
 
-    def clear(self) -> int:
+    def clear(self, *, now: float | None = None) -> int:
         """Delete every entry; returns how many were removed.
 
         Also sweeps ``*.tmp`` orphans left by writers killed between
-        ``mkstemp`` and the rename (those never count as entries).
+        ``mkstemp`` and the rename (those never count as entries) -- but
+        only once they age past :data:`TMP_GRACE_SECONDS`, exactly like
+        :meth:`prune`: a younger temp file belongs to a *live* writer
+        mid-atomic-rename, and unlinking it would make the writer's
+        ``os.replace`` fail, turning a concurrent ``clear``-vs-``put``
+        race into a spurious :class:`OSError` in the writer.
         """
         removed = 0
         for path in self.entries():
@@ -125,10 +140,6 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
-        if self.directory.is_dir():
-            for orphan in self.directory.glob("*.tmp"):
-                try:
-                    orphan.unlink()
-                except OSError:
-                    pass
+        moment = time.time() if now is None else now
+        self._sweep_tmp(moment - TMP_GRACE_SECONDS)
         return removed

@@ -10,6 +10,7 @@ Examples::
     repro fetch-pressure
     repro sweep figure5 --jobs 8       # raw grid, parallel
     repro sweep vc-kernels             # the compiler-built kernels
+    repro sweep frame-scale            # one full 720x480 MPEG-2 frame
     repro sweep --kernels idct,motion2 --isas mom --ways 1,2,4,8
     repro kernels                      # registry + per-ISA DLP coverage
     repro cache                        # show cache location / size
@@ -423,8 +424,8 @@ def _add_sweep_axes(parser: argparse.ArgumentParser, *,
         parser.add_argument("--scale", type=int, default=1,
                             help="workload scale factor (default 1)")
     parser.add_argument("preset", nargs="?", default=None,
-                        help="named preset (figure5, figure7, latency, "
-                             "fetch-pressure, table1)")
+                        help="named preset (figure5, figure7, vc-kernels, "
+                             "latency, fetch-pressure, table1, frame-scale)")
     parser.add_argument("--kernels", type=_csv, default=(),
                         help="comma-separated kernel names")
     parser.add_argument("--apps", type=_csv, default=(),

@@ -159,7 +159,14 @@ class Session:
         entry = self.cache.get(key)
         if entry is None:
             return None
-        result = SimResult.from_dict(entry["result"])
+        try:
+            result = SimResult.from_dict(entry["result"])
+        except (KeyError, TypeError, ValueError):
+            # Valid JSON but not a result entry (hand-edited or foreign
+            # file): a miss, never an exception -- lookup is called from
+            # the serving layer's submit scan, where a raise would leak
+            # backpressure slots but a miss just re-simulates.
+            return None
         # Replayed, not measured: the wall-clock numbers in meta describe
         # the run that *populated* the cache, so flag the replay to keep
         # them from being read as a fresh measurement.

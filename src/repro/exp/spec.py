@@ -133,6 +133,15 @@ FIGURE7_CONFIGS = (
 #: Section 4.1's "streaming-like" fixed memory latency.
 HIGH_LATENCY = 50
 
+#: The frame-scale study runs one full 720x480 MPEG-2 frame end-to-end on
+#: one configuration per Figure 7 ISA: the conventional hierarchy for the
+#: scalar and SIMD machines, the vector cache for MOM.
+FRAME_SCALE_CONFIGS = (
+    ("alpha-conv", "alpha", "conventional"),
+    ("mmx-conv", "mmx", "conventional"),
+    ("mom-vectorcache", "mom", "vectorcache"),
+)
+
 
 def _presets() -> dict[str, SweepSpec]:
     # Local import keeps module load order obvious; the kernel/app
@@ -156,6 +165,14 @@ def _presets() -> dict[str, SweepSpec]:
         "figure7": SweepSpec(
             name="figure7", kind="app", targets=APP_ORDER, ways=(4, 8),
             pairs=tuple((isa, mem) for _, isa, mem in FIGURE7_CONFIGS)),
+        # Frame-scale study: one full 720x480 MPEG-2 frame per ISA
+        # configuration.  Tens of millions of dynamic instructions per
+        # point -- the columnar streaming trace engine is what makes this
+        # preset buildable and simulatable in bounded memory.
+        "frame-scale": SweepSpec(
+            name="frame-scale", kind="app", targets=("mpeg2_frame",),
+            ways=(4,),
+            pairs=tuple((isa, mem) for _, isa, mem in FRAME_SCALE_CONFIGS)),
         # Section 4.1 latency-tolerance study: 1- vs 50-cycle memory.
         "latency": SweepSpec(
             name="latency", kind="kernel", targets=KERNEL_ORDER,

@@ -29,8 +29,11 @@ Failure modes: a point whose build or simulation raises streams back an
 ``ok: false`` result for that point only (the shard survives); a client
 that disconnects mid-job does not cancel its simulations -- they finish
 and warm the cache for the next asker; a worker process killed from
-outside would strand its queued batches, so ``stats`` exposes
-``workers_alive`` and the load harness treats a shortfall as fatal.
+outside has its outstanding points failed and its process respawned by
+the shard pool's watchdog (see :mod:`repro.serve.shard`), so the
+in-flight futures resolve, their backpressure slots release, and
+capacity recovers instead of shrinking for the life of the server.
+``stats`` still exposes ``workers_alive`` for monitoring.
 """
 
 from __future__ import annotations
@@ -251,54 +254,76 @@ class SimServer:
                                   "points": len(points)})
 
         # Classify every point: served from cache, attached to an
-        # in-flight duplicate, or owned (we will simulate it).
+        # in-flight duplicate, or owned (we will simulate it).  The whole
+        # scan is leak-proofed: however it exits, every acquired slot is
+        # either registered in ``_inflight`` (and will be released by
+        # ``_complete``) or released here -- a slot that escaped both
+        # would permanently shrink server capacity.
         counts = {"cache": 0, "dedup": 0, "sim": 0}
         waiters: list[tuple[int, PointSpec, str, asyncio.Future]] = []
         batches: dict[tuple, list[tuple[str, dict]]] = {}
-        for seq, point in enumerate(points):
-            key = self.session.key_for(point)
-            while True:
-                cached = self.session.lookup(point)
-                if cached is not None:
-                    source = "cache"
-                    # Whatever layer replayed it (session memo or disk),
-                    # what goes over the wire is not this client's fresh
-                    # measurement -- mark the copy so the recorded
-                    # wall-clock can never be read as one.
-                    data = cached.to_dict()
-                    data.setdefault("meta", {})["cache_hit"] = True
+        slot_held = False
+        try:
+            for seq, point in enumerate(points):
+                key = self.session.key_for(point)
+                while True:
+                    cached = self.session.lookup(point)
+                    if cached is not None:
+                        source = "cache"
+                        # Whatever layer replayed it (session memo or disk),
+                        # what goes over the wire is not this client's fresh
+                        # measurement -- mark the copy so the recorded
+                        # wall-clock can never be read as one.
+                        data = cached.to_dict()
+                        data.setdefault("meta", {})["cache_hit"] = True
+                        future = self._loop.create_future()
+                        future.set_result((data, None))
+                        break
+                    if key in self._inflight:
+                        source = "dedup"
+                        future = self._inflight[key][1]
+                        break
+                    # Backpressure: block the scan (and this client) until a
+                    # simulation slot frees up, bounding worker queues.  Any
+                    # batch collected so far must reach the workers *before*
+                    # blocking, or the slots it holds could never free.  The
+                    # await yields the loop, so another client may cache or
+                    # register this very point meanwhile -- reclassify after
+                    # waking (classification and registration must be atomic,
+                    # i.e. no await between them) instead of double-booking.
+                    if self._slots.locked():
+                        self._flush(batches)
+                    await self._slots.acquire()
+                    slot_held = True
+                    if (key in self._inflight
+                            or self.session.lookup(point) is not None):
+                        self._slots.release()
+                        slot_held = False
+                        continue
+                    source = "sim"
                     future = self._loop.create_future()
-                    future.set_result((data, None))
+                    self._inflight[key] = (point, future)
+                    slot_held = False      # _complete owns the release now
+                    batches.setdefault(build_key(point.payload()), []).append(
+                        (key, point.payload()))
                     break
-                if key in self._inflight:
-                    source = "dedup"
-                    future = self._inflight[key][1]
-                    break
-                # Backpressure: block the scan (and this client) until a
-                # simulation slot frees up, bounding worker queues.  Any
-                # batch collected so far must reach the workers *before*
-                # blocking, or the slots it holds could never free.  The
-                # await yields the loop, so another client may cache or
-                # register this very point meanwhile -- reclassify after
-                # waking (classification and registration must be atomic,
-                # i.e. no await between them) instead of double-booking.
-                if self._slots.locked():
-                    self._flush(batches)
-                await self._slots.acquire()
-                if (key in self._inflight
-                        or self.session.lookup(point) is not None):
-                    self._slots.release()
-                    continue
-                source = "sim"
-                future = self._loop.create_future()
-                self._inflight[key] = (point, future)
-                batches.setdefault(build_key(point.payload()), []).append(
-                    (key, point.payload()))
-                break
-            counts[source] += 1
-            self.stats[{"cache": "cache_hits", "dedup": "dedup_hits",
-                        "sim": "simulated"}[source]] += 1
-            waiters.append((seq, point, source, future))
+                counts[source] += 1
+                self.stats[{"cache": "cache_hits", "dedup": "dedup_hits",
+                            "sim": "simulated"}[source]] += 1
+                waiters.append((seq, point, source, future))
+        except Exception as exc:
+            # A mid-scan failure (e.g. a corrupt cache entry raising out
+            # of lookup) must not strand what was already registered:
+            # flush collected batches so their futures resolve and their
+            # slots release through the normal completion path, drop any
+            # slot acquired but not yet registered, and fail the job.
+            if slot_held:
+                self._slots.release()
+            self._flush(batches)
+            self.stats["errors"] += 1
+            await self._send(writer, protocol.error_response(
+                f"submit failed mid-classification: {exc}", id=job))
+            return
 
         self._flush(batches)
 
@@ -329,9 +354,20 @@ class SimServer:
     # --- helpers ----------------------------------------------------------
 
     def _flush(self, batches: dict[tuple, list[tuple[str, dict]]]) -> None:
-        """Queue the collected same-build batches (one hop each) and reset."""
+        """Queue the collected same-build batches (one hop each) and reset.
+
+        A batch the pool refuses (closed mid-drain, dead queue) is
+        completed as an error immediately: its keys are registered in
+        ``_inflight`` holding backpressure slots, so dropping the batch
+        on the floor would leak both and hang every waiter.
+        """
         for batch in batches.values():
-            self._pool.submit(batch)
+            try:
+                self._pool.submit(batch)
+            except Exception as exc:
+                detail = f"worker pool rejected batch: {exc}"
+                for key, _payload in batch:
+                    self._complete(key, None, detail)
         batches.clear()
 
     async def _send(self, writer: asyncio.StreamWriter,

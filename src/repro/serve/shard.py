@@ -16,6 +16,22 @@ so results stream back in completion order.  A collector thread drains
 the result queue and hands ``(key, result_dict, error)`` triples to the
 callback supplied by the owner (the asyncio server bridges them onto its
 event loop with ``call_soon_threadsafe``).
+
+Every submitted key is tracked until its result is reported, and a
+watchdog thread monitors worker liveness: if a worker process dies (OOM
+kill, segfault, operator ``kill -9``) the watchdog reports an error for
+each of the dead shard's outstanding keys, replaces the shard's task
+queue (a worker killed inside ``get()`` dies holding the queue's reader
+lock, which would deadlock a respawn on the same queue) and spawns a
+fresh worker -- backing off exponentially when workers die young, so a
+persistently crashing worker (broken deploy, startup OOM) cannot turn
+the watchdog into a fork storm.  Without this, a dead worker silently
+stranded its keys --
+the server's in-flight futures never resolved and their backpressure
+slots never released, permanently shrinking service capacity; batches
+still queued for the shard would also never run.  The owner treats a
+straggling result for an already-failed key as a no-op, so the recovery
+is idempotent from its side.
 """
 
 from __future__ import annotations
@@ -23,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import multiprocessing
 import threading
+import time
 import traceback
 
 _STOP = None      # queue sentinel
@@ -79,28 +96,53 @@ class ShardPool:
     Args:
         workers: shard count (one process per shard).
         on_result: called as ``on_result(key, result_dict, error)`` from
-            the collector thread for every finished point.  Exactly one
-            of ``result_dict`` / ``error`` is non-``None``.
+            the collector thread for every finished point, and from the
+            watchdog thread for points failed by a worker death.  Exactly
+            one of ``result_dict`` / ``error`` is non-``None``.
     """
+
+    #: Seconds between worker-liveness checks.
+    WATCH_INTERVAL = 0.25
+
+    #: A worker that dies younger than this is "crashing at startup";
+    #: its shard's respawns back off exponentially (up to
+    #: :data:`MAX_BACKOFF_SECONDS`) instead of fork-storming -- a broken
+    #: deploy or an OOM-killed interpreter would otherwise be respawned
+    #: every watch tick, several forks per second, forever.
+    FLAP_SECONDS = 5.0
+    MAX_BACKOFF_SECONDS = 30.0
 
     def __init__(self, workers: int, on_result) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = workers
+        self.restarts = 0
         self._on_result = on_result
-        ctx = multiprocessing.get_context()
+        self._ctx = ctx = multiprocessing.get_context()
         self._results = ctx.SimpleQueue()
         self._tasks = [ctx.SimpleQueue() for _ in range(workers)]
-        self._procs = [
-            ctx.Process(target=_shard_worker, args=(q, self._results),
-                        daemon=True, name=f"repro-shard-{i}")
-            for i, q in enumerate(self._tasks)]
-        for proc in self._procs:
-            proc.start()
+        self._spawned_at = [0.0] * workers
+        self._respawn_at = [0.0] * workers
+        self._backoff = [0.0] * workers
+        self._procs: list = [self._spawn(i) for i in range(workers)]
+        #: key -> shard, for every submitted-but-unreported point.
+        self._pending: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._closed = False
         self._collector = threading.Thread(
             target=self._collect, name="repro-shard-collector", daemon=True)
         self._collector.start()
-        self._closed = False
+        self._watchdog = threading.Thread(
+            target=self._watch, name="repro-shard-watchdog", daemon=True)
+        self._watchdog.start()
+
+    def _spawn(self, shard: int):
+        proc = self._ctx.Process(
+            target=_shard_worker, args=(self._tasks[shard], self._results),
+            daemon=True, name=f"repro-shard-{shard}")
+        proc.start()
+        self._spawned_at[shard] = time.monotonic()
+        return proc
 
     # --- submission -------------------------------------------------------
 
@@ -118,7 +160,14 @@ class ShardPool:
         if len(keys) != 1:
             raise ValueError(f"batch mixes builds: {sorted(keys)}")
         shard = shard_index(next(iter(keys)), self.workers)
-        self._tasks[shard].put(batch)
+        # The put happens under the lock so it is atomic with the
+        # watchdog's queue replacement: a batch must never land on a
+        # queue whose (dead) reader has just been swapped out, or its
+        # keys would wait forever behind an apparently healthy worker.
+        with self._lock:
+            for key, _payload in batch:
+                self._pending[key] = shard
+            self._tasks[shard].put(batch)
         return shard
 
     # --- lifecycle --------------------------------------------------------
@@ -128,20 +177,76 @@ class ShardPool:
             item = self._results.get()
             if item is _STOP:
                 break
+            with self._lock:
+                self._pending.pop(item[0], None)
             self._on_result(*item)
+
+    def _watch(self) -> None:
+        """Fail the keys of dead workers and respawn them (see module doc)."""
+        while not self._closed:
+            for shard in range(self.workers):
+                if self._closed:
+                    break
+                proc = self._procs[shard]
+                if proc is not None and proc.is_alive():
+                    continue
+                if proc is not None:
+                    # Just died.  Fail its outstanding keys right away
+                    # (waiters must not wait out the backoff) and decide
+                    # when the shard may respawn: a worker that died
+                    # young is flapping and backs off exponentially.
+                    now = time.monotonic()
+                    flapping = (now - self._spawned_at[shard]
+                                < self.FLAP_SECONDS)
+                    self._backoff[shard] = (
+                        min(self.MAX_BACKOFF_SECONDS,
+                            max(1.0, self._backoff[shard] * 2))
+                        if flapping else 0.0)
+                    with self._lock:
+                        dead = [key for key, s in self._pending.items()
+                                if s == shard]
+                        for key in dead:
+                            del self._pending[key]
+                        # A worker killed while blocked in its queue's
+                        # get() dies *holding the queue's reader lock*
+                        # (SimpleQueue wraps the whole blocking recv in
+                        # it, and process death does not release
+                        # multiprocessing locks), so a respawn on the old
+                        # queue would deadlock on its first get.  Replace
+                        # the queue; batches still sitting in the old one
+                        # are exactly the outstanding keys, failed below.
+                        # Batches submitted during the backoff window
+                        # queue here and run once the shard respawns.
+                        self._tasks[shard] = self._ctx.SimpleQueue()
+                        self._procs[shard] = None
+                        self._respawn_at[shard] = now + self._backoff[shard]
+                    detail = (f"worker shard-{shard} died "
+                              f"(exit code {proc.exitcode}); restarting")
+                    for key in dead:
+                        self._on_result(key, None, detail)
+                if (self._procs[shard] is None
+                        and time.monotonic() >= self._respawn_at[shard]):
+                    with self._lock:
+                        self.restarts += 1
+                        self._procs[shard] = self._spawn(shard)
+            time.sleep(self.WATCH_INTERVAL)
 
     def alive(self) -> int:
         """How many worker processes are currently alive."""
-        return sum(proc.is_alive() for proc in self._procs)
+        return sum(proc is not None and proc.is_alive()
+                   for proc in self._procs)
 
     def close(self, timeout: float = 30.0) -> None:
         """Stop workers after their queued tasks finish and join them."""
         if self._closed:
             return
         self._closed = True
+        self._watchdog.join(timeout)
         for queue in self._tasks:
             queue.put(_STOP)
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout)
             if proc.is_alive():     # refused to drain: don't hang shutdown
                 proc.terminate()

@@ -226,10 +226,9 @@ def _lower_map(b: AlphaBuilder, ir: LoopKernel, binding: Binding,
     for buf in ir.buffers:
         pointers[buf.name].value = (bases[buf.name]
                                     + binding.buffers[buf.name].offsets[0])
-    mark = len(b.trace.instructions)
+    mark = len(b.trace)
     ev.eval_element(ir.expr, 0)
-    del b.trace.instructions[mark:]
-    b.trace.invalidate_summary()
+    b.trace.truncate(mark)
 
     rows = b.ireg()
     site = b.site()

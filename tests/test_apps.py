@@ -19,9 +19,12 @@ def built():
 
 
 def test_registry():
-    assert set(APP_ORDER) == set(APPS)
-    assert len(APPS) == 5
+    # The Figure 7 grid (APP_ORDER) stays on the mini-frame workloads;
+    # the frame-scale mpeg2_frame target registers alongside them.
+    assert set(APP_ORDER) | {"mpeg2_frame"} == set(APPS)
+    assert len(APPS) == 6
     assert "gsm_decode" not in APPS      # dropped, as in the paper
+    assert APPS["mpeg2_frame"].description.startswith("MPEG-2")
 
 
 @pytest.mark.parametrize("app", APP_ORDER)
@@ -150,3 +153,21 @@ def test_pcm_audio_range_and_pitch():
     assert audio.shape == (320,)
     assert audio.min() >= -4096 and audio.max() <= 4095
     assert np.abs(audio.astype(np.int64)).max() > 500   # not silence
+
+
+def test_mpeg2_frame_geometry_is_isa_invariant():
+    """The frame-geometry parameterization of the MPEG-2 encoder stays
+    bit-exact across ISAs on a non-square mini-frame (a width/height swap
+    anywhere in the addressing would break this); the registered
+    mpeg2_frame target is this same builder at 720x480."""
+    from repro.apps.mpeg2 import _build_encode
+    from repro.apps.workloads import video_frames
+
+    width, height = 48, 32
+    frames = video_frames(width, height, count=2)
+    base = _build_encode("alpha", frames, width, height)
+    assert base.outputs["recon"].shape == (1, height, width)
+    for isa in ("mmx", "mom"):
+        other = _build_encode(isa, frames, width, height)
+        assert (other.outputs["recon"] == base.outputs["recon"]).all()
+        assert len(other.trace) < len(base.trace)       # DLP fetch economy

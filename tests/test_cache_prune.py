@@ -118,6 +118,80 @@ def test_prune_mid_serve_never_corrupts_atomic_writes(tmp_path):
     assert cache.get("after")["result"] == "fine"
 
 
+def test_clear_spares_fresh_tmp_files(tmp_path):
+    """clear() removes every entry but honours the same TMP_GRACE_SECONDS
+    window as prune(): a fresh *.tmp belongs to a live writer between
+    mkstemp and its atomic rename, and unlinking it breaks the rename."""
+    cache = ResultCache(tmp_path)
+    cache.put("a", {"result": 1})
+    cache.put("b", {"result": 2})
+    stale = tmp_path / "deadbeef.tmp"
+    stale.write_text("{}")
+    _backdate(stale, 3600)
+    fresh = tmp_path / "cafef00d.tmp"
+    fresh.write_text("{}")
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert not stale.exists()
+    assert fresh.exists()
+
+
+def test_clear_mid_put_never_breaks_writers(tmp_path):
+    """Regression: clear() used to unlink *young* temp files, so a writer
+    racing a clear could lose its temp file between mkstemp and
+    os.replace and blow up with FileNotFoundError.  With the grace window
+    honoured, concurrent clear-vs-put is exception-free and every
+    observable entry stays whole."""
+    cache = ResultCache(tmp_path)
+    stop = threading.Event()
+    errors: list[BaseException] = []
+
+    def writer(worker: int) -> None:
+        i = 0
+        try:
+            while not stop.is_set():
+                key = f"w{worker}k{i % 5}"
+                cache.put(key, {"spec": {"i": i}, "result": {"cycles": i}})
+                entry = cache.get(key)
+                if entry is not None:      # clear() may have won: clean miss
+                    assert entry["result"]["cycles"] == i
+                i += 1
+        except BaseException as exc:      # pragma: no cover - failure path
+            errors.append(exc)
+
+    def clearer() -> None:
+        try:
+            while not stop.is_set():
+                cache.clear()
+        except BaseException as exc:      # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(n,)) for n in range(2)]
+    threads.append(threading.Thread(target=clearer))
+    for t in threads:
+        t.start()
+    time.sleep(0.8)
+    stop.set()
+    for t in threads:
+        t.join(timeout=10)
+    assert not errors, errors
+
+    # The store still functions after the storm.
+    cache.put("after", {"result": "fine"})
+    assert cache.get("after")["result"] == "fine"
+
+
+def test_clear_sweeps_backdated_tmp_with_explicit_now(tmp_path):
+    cache = ResultCache(tmp_path)
+    orphan = tmp_path / "orphan.tmp"
+    orphan.write_text("{}")
+    assert cache.clear() == 0              # young: survives a normal clear
+    assert orphan.exists()
+    import time as _time
+    assert cache.clear(now=_time.time() + 3600) == 0
+    assert not orphan.exists()             # aged past the grace window
+
+
 def test_cli_age_parsing():
     from repro.exp.cli import _parse_age
     assert _parse_age("300") == 300

@@ -70,7 +70,7 @@ def test_sweep_pairs_override_product():
 
 def test_presets_cover_the_paper():
     assert {"figure5", "figure7", "latency", "fetch-pressure",
-            "table1"} <= set(PRESETS)
+            "table1", "frame-scale"} <= set(PRESETS)
     fig5 = preset("figure5")
     assert len(fig5.points()) == 8 * 4 * 4          # kernels x isas x ways
     fig7 = preset("figure7")
@@ -78,6 +78,19 @@ def test_presets_cover_the_paper():
     assert all(p.kind == "app" for p in fig7.points())
     with pytest.raises(KeyError):
         preset("figure99")
+
+
+def test_frame_scale_preset_runs_one_config_per_figure7_isa():
+    frame = preset("frame-scale")
+    points = frame.points()
+    assert [(p.isa, p.memory) for p in points] == [
+        ("alpha", "conventional"), ("mmx", "conventional"),
+        ("mom", "vectorcache")]
+    assert all(p.kind == "app" and p.target == "mpeg2_frame"
+               and p.way == 4 for p in points)
+    # The target exists in the registry but stays out of the Figure 7 grid.
+    from repro.apps import APP_ORDER, APPS
+    assert "mpeg2_frame" in APPS and "mpeg2_frame" not in APP_ORDER
 
 
 def test_preset_replace_narrows_targets():
@@ -143,10 +156,21 @@ def test_result_cache_ignores_corrupt_entries(tmp_path):
 
 
 def test_result_cache_clear_sweeps_tmp_orphans(tmp_path):
+    import os
+    import time
+
     cache = ResultCache(tmp_path)
     cache.put("k", {"result": {}})
-    (tmp_path / "orphan123.tmp").write_text("partial write")
+    orphan = tmp_path / "orphan123.tmp"
+    orphan.write_text("partial write")
+    # A *young* temp file may belong to a live writer mid-atomic-rename
+    # (clear() honours the same TMP_GRACE_SECONDS window as prune()); an
+    # aged orphan from a crashed writer is swept.
     assert cache.clear() == 1
+    assert orphan.exists()
+    past = time.time() - 3600
+    os.utime(orphan, (past, past))
+    assert cache.clear() == 0
     assert not list(tmp_path.iterdir())
 
 

@@ -151,6 +151,26 @@ def test_event_core_matches_seed_digest(kernel, isa, way, memory):
     assert result_digest(result) == GOLDEN_DIGESTS[(kernel, isa, way, memory)]
 
 
+@pytest.mark.parametrize("kernel,isa,way,memory", [
+    ("idct", "mom", 8, "vectorcache"),
+    ("idct", "alpha", 2, "cache"),
+    ("motion2", "mmx", 8, "cache"),
+    ("motion2", "mom", 2, "collapsing"),
+    ("idct", "mdmx", 8, "latency50"),
+], ids=lambda v: str(v))
+def test_streaming_consume_path_matches_seed_digest(monkeypatch, kernel,
+                                                    isa, way, memory):
+    """The columnar streaming path (TimingRecords consumed chunk by chunk,
+    no materialized DynInstr list -- the frame-scale route) reproduces the
+    seed digests bit for bit, across every memory-model family."""
+    monkeypatch.setattr(Core, "STREAM_THRESHOLD", 0)
+    built = built_kernel(kernel, isa)
+    built.trace.invalidate_summary()        # force streaming, not the cache
+    core = Core(machine_config(way, isa), make_memsys(memory, way, isa))
+    result = core.run(built.trace)
+    assert result_digest(result) == GOLDEN_DIGESTS[(kernel, isa, way, memory)]
+
+
 def test_reference_core_still_matches_seed_digest():
     """The retained busy-wait oracle reproduces the seed too (spot check)."""
     for point in (("idct", "mom", 8, "cache"),

@@ -264,3 +264,110 @@ def test_two_concurrent_clients_reproduce_golden_digests(tmp_path):
     assert stats["simulated"] == unique
     assert stats["cache_hits"] + stats["dedup_hits"] == unique
     assert stats["errors"] == 0
+
+
+# --- worker death: no leaked slots, capacity recovers --------------------------
+
+def test_shard_pool_fails_pending_keys_of_killed_worker_and_respawns():
+    """Pool-level regression: SIGKILL a worker mid-batch.  Its outstanding
+    keys must be reported as errors (so the owner can resolve futures and
+    release backpressure slots) and the worker must be respawned."""
+    from repro.serve.shard import ShardPool
+
+    results: dict[str, tuple] = {}
+    done = threading.Event()
+
+    def on_result(key, result, error):
+        results[key] = (result, error)
+        done.set()
+
+    # A build slow enough (seconds) that the kill lands mid-execution.
+    slow = PointSpec(kind="app", target="mpeg2_encode", isa="alpha",
+                     way=4).payload()
+    pool = ShardPool(1, on_result)
+    try:
+        pool.submit([("slowkey", slow)])
+        import time
+        time.sleep(0.5)                   # worker is inside the build
+        pool._procs[0].kill()
+        assert done.wait(30), "killed worker's key was never failed"
+        result, error = results["slowkey"]
+        assert result is None and "died" in error
+        # Respawn may lag the key failure by the flap backoff (a worker
+        # dying young is treated as flapping); waiters never wait on it.
+        deadline = time.time() + 10
+        while pool.alive() < 1 and time.time() < deadline:
+            time.sleep(0.05)
+        assert pool.restarts == 1
+        assert pool.alive() == 1          # respawned on a fresh queue
+    finally:
+        pool.close()
+
+
+def test_killed_worker_streams_error_and_capacity_recovers(tmp_path):
+    """Server-level regression: with a single backpressure slot, a worker
+    killed mid-simulation used to strand the in-flight future forever --
+    the slot never released and every later submit hung.  Now the client
+    gets an ok:false result for the doomed point, and a follow-up submit
+    simulates normally on the respawned worker (proof the slot came back:
+    with max_inflight=1 a leak would deadlock it)."""
+    import time
+
+    doomed = PointSpec(kind="app", target="mpeg2_encode", isa="alpha", way=4)
+    with live_server(tmp_path, workers=1, max_inflight=1) as server:
+        with Client("127.0.0.1", server.port, timeout=120) as client:
+            stream = client.submit_iter([doomed])
+            accepted = next(stream)
+            assert accepted["op"] == "accepted"
+            time.sleep(0.5)               # let the batch reach the worker
+            server._pool._procs[0].kill()
+            messages = list(stream)
+        kinds = [m["op"] for m in messages]
+        assert kinds[-1] == "done"
+        failures = [m for m in messages if m["op"] == "result"]
+        assert len(failures) == 1 and failures[0]["ok"] is False
+        assert "died" in failures[0]["error"]
+        assert server.stats["errors"] == 1
+
+        # Capacity recovered: the single slot is free again and the
+        # respawned worker serves a fresh simulation point.
+        with Client("127.0.0.1", server.port, timeout=120) as client:
+            ok = client.run([MINI[0]])
+            assert len(ok) == 1
+            assert client.stats()["workers_alive"] == 1
+
+
+def test_worker_killed_while_idle_does_not_poison_the_queue():
+    """A worker killed while *blocked in queue.get()* dies holding the
+    task queue's reader lock.  The watchdog must hand the respawned
+    worker a fresh queue -- on the old one its first get() would
+    deadlock and the shard would wedge while looking alive."""
+    import time
+
+    results: dict[str, tuple] = {}
+    arrived = threading.Event()
+
+    def on_result(key, result, error):
+        results[key] = (result, error)
+        arrived.set()
+
+    from repro.serve.shard import ShardPool
+
+    pool = ShardPool(1, on_result)
+    try:
+        time.sleep(0.3)                   # worker parked inside get()
+        pool._procs[0].kill()
+        deadline = time.time() + 10
+        while pool.restarts < 1 and time.time() < deadline:
+            time.sleep(0.05)
+        assert pool.restarts == 1
+
+        # The respawned worker must actually consume from the new queue.
+        quick = PointSpec(kind="kernel", target="idct", isa="mom",
+                          way=2).payload()
+        pool.submit([("afterkey", quick)])
+        assert arrived.wait(120), "respawned worker never served a batch"
+        result, error = results["afterkey"]
+        assert error is None and result["cycles"] > 0
+    finally:
+        pool.close()

@@ -1,0 +1,340 @@
+"""Columnar trace store: chunk geometry, streaming records, mutation view.
+
+The contract under test (DESIGN.md section 5): the structure-of-arrays
+encoding behind :class:`~repro.emulib.trace.Trace` is invisible at the
+API -- iteration yields equal :class:`~repro.emulib.trace.DynInstr`
+objects, digests are bit-identical to the historical list encoding and
+independent of chunk boundaries, streamed
+:class:`~repro.emulib.trace.TimingRecord`\\ s match the reference
+constructor attribute for attribute, and the ``instructions`` escape
+hatch still behaves like the list it replaced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Core, machine_config
+from repro.emulib.fingerprint import trace_digest
+from repro.emulib.trace import (CHUNK_ROWS, DynInstr, TimingRecord, Trace,
+                                reg)
+from repro.exp.engine import built_kernel
+from repro.isa.alpha import ALPHA
+from repro.core.mom_isa import MOM
+from repro.isa.model import InstrClass, RegPool
+from repro.memsys import PerfectMemory
+
+
+def _mixed_rows(n):
+    """A deterministic mix of scalar / vector / memory / branch rows."""
+    rows = []
+    for i in range(n):
+        kind = i % 5
+        if kind == 0:
+            rows.append(DynInstr(ALPHA["addq"],
+                                 srcs=(reg(RegPool.INT, i % 7),),
+                                 dsts=(reg(RegPool.INT, (i + 1) % 7),)))
+        elif kind == 1:
+            rows.append(DynInstr(ALPHA["ldq"], addr=0x1000 + 8 * i,
+                                 nbytes=8,
+                                 dsts=(reg(RegPool.INT, i % 7),)))
+        elif kind == 2:
+            rows.append(DynInstr(MOM["momldq"], addr=0x2000 + 64 * i,
+                                 nbytes=8, stride=32, vl=4 + i % 12,
+                                 dsts=(reg(RegPool.MED, i % 5),)))
+        elif kind == 3:
+            rows.append(DynInstr(MOM["paddb"], vl=16,
+                                 srcs=(reg(RegPool.MED, 0),
+                                       reg(RegPool.MED, 1)),
+                                 dsts=(reg(RegPool.MED, 2),)))
+        else:
+            rows.append(DynInstr(ALPHA["bne"], srcs=(reg(RegPool.INT, 1),),
+                                 taken=bool(i % 3), site=1 + i % 4))
+    return rows
+
+
+def _fill(trace, rows):
+    for row in rows:
+        trace.append(row)
+    return trace
+
+
+def _assert_instr_equal(a, b):
+    assert a.op is b.op
+    for f in ("srcs", "dsts", "addr", "nbytes", "stride", "vl", "taken",
+              "site"):
+        assert getattr(a, f) == getattr(b, f), f
+
+
+# --- chunk-boundary edge cases -------------------------------------------------
+
+def test_empty_trace():
+    t = Trace("alpha")
+    assert len(t) == 0
+    assert list(t) == []
+    assert t.operation_count() == 0
+    assert t.class_histogram() == {} and t.opcode_histogram() == {}
+    assert t.timing_records() == []
+    assert list(t.iter_timing_records()) == []
+    assert trace_digest(t) == trace_digest(Trace("alpha"))
+    with pytest.raises(IndexError):
+        t[0]
+
+
+@pytest.mark.parametrize("n,chunk", [
+    (1, 4),          # staging only
+    (4, 4),          # exactly one chunk, empty staging
+    (8, 4),          # two exact chunks
+    (11, 4),         # chunks + staging tail
+    (5, CHUNK_ROWS),  # default geometry, staging only
+])
+def test_roundtrip_across_chunk_geometries(n, chunk):
+    rows = _mixed_rows(n)
+    t = _fill(Trace("mom", chunk_rows=chunk), rows)
+    assert len(t) == n
+    for got, want in zip(t, rows):
+        _assert_instr_equal(got, want)
+    for i in range(n):
+        _assert_instr_equal(t[i], rows[i])
+        _assert_instr_equal(t[i - n], rows[i])          # negative indexing
+    assert [i.op.name for i in t[1:4]] == [r.op.name for r in rows[1:4]]
+
+
+def test_digest_independent_of_chunk_geometry():
+    rows = _mixed_rows(23)
+    digests = {trace_digest(_fill(Trace("mom", chunk_rows=c), rows))
+               for c in (1, 4, 7, 23, CHUNK_ROWS)}
+    assert len(digests) == 1
+
+
+def test_summary_matches_reference_loop_per_chunk_geometry():
+    """Vectorized statistics equal the historical per-record walk."""
+    rows = _mixed_rows(37)
+    ref_ops = sum(r.vl * max(1, r.op.elem.lanes) for r in rows)
+    ref_mem = sum(r.vl for r in rows if r.op.iclass.is_memory)
+    ref_branch = sum(1 for r in rows if r.op.iclass == InstrClass.BRANCH)
+    for chunk in (3, 37, CHUNK_ROWS):
+        t = _fill(Trace("mom", chunk_rows=chunk), rows)
+        assert t.operation_count() == ref_ops
+        assert t.memory_references() == ref_mem
+        assert t.branch_count() == ref_branch
+        hist = t.opcode_histogram()
+        assert sum(hist.values()) == len(rows)
+        assert hist["paddb"] == sum(1 for r in rows if r.op.name == "paddb")
+
+
+def test_append_after_summary_reseals_and_recounts():
+    t = Trace("alpha", chunk_rows=2)
+    t.append(DynInstr(ALPHA["addq"]))
+    t.append(DynInstr(ALPHA["addq"]))               # seals chunk 0
+    assert t.operation_count() == 2                 # caches a summary
+    first = t.summary()
+    t.append(DynInstr(ALPHA["ldq"], addr=8, nbytes=8))
+    assert t.operation_count() == 3                 # invalidated + recounted
+    assert t.summary() is not first
+    assert t.memory_references() == 1
+    assert len(t.timing_records()) == 3
+
+
+def test_truncate_across_chunk_boundary():
+    rows = _mixed_rows(10)
+    t = _fill(Trace("mom", chunk_rows=4), rows)
+    t.truncate(6)                                   # cuts into chunk 1
+    assert len(t) == 6
+    for got, want in zip(t, rows[:6]):
+        _assert_instr_equal(got, want)
+    assert trace_digest(t) == trace_digest(_fill(Trace("mom"), rows[:6]))
+    t.truncate(6)                                   # no-op at exact length
+    assert len(t) == 6
+    t.truncate(0)
+    assert len(t) == 0 and list(t) == []
+    with pytest.raises(ValueError):
+        t.truncate(-1)
+
+
+# --- timing-record equivalence -------------------------------------------------
+
+def _assert_record_equal(got: TimingRecord, want: TimingRecord):
+    for f in ("iclass", "kind", "is_memory", "is_branch", "is_jump",
+              "is_nop", "chains", "op_name", "latency", "vl", "exec_rows",
+              "acc_chain_eligible", "writes_acc", "srcs", "dsts", "site",
+              "taken"):
+        assert getattr(got, f) == getattr(want, f), f
+
+
+@pytest.mark.parametrize("kernel,isa", [("idct", "mom"), ("motion2", "mmx"),
+                                        ("addblock", "alpha")])
+def test_streamed_records_match_reference_constructor(kernel, isa):
+    trace = built_kernel(kernel, isa).trace
+    reference = [TimingRecord(ins) for ins in trace]
+    streamed = list(trace.iter_timing_records())
+    assert len(streamed) == len(reference)
+    for got, want, ins in zip(streamed, reference, trace):
+        _assert_record_equal(got, want)
+        if got.is_memory:        # the only rows whose object form is used
+            _assert_instr_equal(got.instr, ins)
+        else:
+            assert got.instr is None
+    cached = trace.timing_records()
+    for got, want, ins in zip(cached, reference, trace):
+        _assert_record_equal(got, want)
+        _assert_instr_equal(got.instr, ins)      # cached path keeps them all
+
+
+def test_small_chunks_stream_identical_records():
+    rows = _mixed_rows(50)
+    base = _fill(Trace("mom"), rows)
+    small = _fill(Trace("mom", chunk_rows=7), rows)
+    for got, want in zip(small.iter_timing_records(),
+                         base.iter_timing_records()):
+        _assert_record_equal(got, want)
+
+
+def test_streaming_core_path_is_bit_identical(monkeypatch):
+    """Force the core's streaming consume path and diff every result field
+    against the cached-record path on the same machine configuration."""
+    built = built_kernel("idct", "mom")
+    cfg = machine_config(4, "mom")
+
+    def run(**env):
+        for key, value in env.items():
+            monkeypatch.setattr(Core, key, value)
+        mem = PerfectMemory(1, cfg.mem_ports, cfg.mem_port_width)
+        return Core(cfg, mem).run(built.trace)
+
+    cached = run()
+    built.trace.invalidate_summary()     # drop the record cache
+    streamed = run(STREAM_THRESHOLD=0)
+    assert streamed == cached
+
+
+# --- extend: value copy, not aliasing (regression) -----------------------------
+
+def test_extend_copies_rows_instead_of_aliasing():
+    a, b = Trace("alpha"), Trace("alpha")
+    a.append(DynInstr(ALPHA["addq"], dsts=(reg(RegPool.INT, 0),)))
+    b.append(DynInstr(ALPHA["subq"], dsts=(reg(RegPool.INT, 1),)))
+    a.extend(b)
+    digest_a = trace_digest(a)
+    summary_a = a.summary()
+
+    # Mutating the source trace must not reach through to the extended
+    # copy (the seed list encoding shared DynInstr instances here, so a
+    # later in-place edit corrupted both streams and silently
+    # desynchronized whichever cached TraceSummary the other trace held).
+    b.instructions[0] = DynInstr(ALPHA["mulq"], dsts=(reg(RegPool.INT, 2),))
+    b.invalidate_summary()
+    assert b.opcode_histogram() == {"mulq": 1}
+    assert trace_digest(a) == digest_a
+    assert a[1].op.name == "subq"
+    assert a.summary() is summary_a
+    assert a.opcode_histogram() == {"addq": 1, "subq": 1}
+
+    # And symmetrically: mutating the destination leaves the source alone.
+    a.instructions[1] = DynInstr(ALPHA["bis"], dsts=(reg(RegPool.INT, 3),))
+    a.invalidate_summary()
+    assert b[0].op.name == "mulq"
+    assert a.opcode_histogram() == {"addq": 1, "bis": 1}
+
+
+def test_self_extend_doubles_the_stream():
+    t = _fill(Trace("mom"), _mixed_rows(5))
+    rows = list(t)
+    t.extend(t)
+    assert len(t) == 10
+    for got, want in zip(t, rows + rows):
+        _assert_instr_equal(got, want)
+
+
+# --- the instructions escape hatch ---------------------------------------------
+
+def test_instructions_view_reads_like_a_list():
+    rows = _mixed_rows(9)
+    t = _fill(Trace("mom", chunk_rows=4), rows)
+    view = t.instructions
+    assert len(view) == 9
+    _assert_instr_equal(view[3], rows[3])
+    assert [i.op.name for i in view] == [r.op.name for r in rows]
+    assert [i.op.name for i in view[2:5]] == [r.op.name for r in rows[2:5]]
+
+
+def test_direct_mutation_then_invalidate_summary():
+    """The documented escape hatch: mutate ``instructions`` directly, then
+    call ``invalidate_summary()`` -- the refreshed summary reflects the
+    mutation, whatever storage block the row lived in."""
+    for chunk in (2, CHUNK_ROWS):       # sealed-row and staging-row cases
+        t = Trace("alpha", chunk_rows=chunk)
+        t.append(DynInstr(ALPHA["addq"]))
+        t.append(DynInstr(ALPHA["addq"]))
+        t.append(DynInstr(ALPHA["addq"]))
+        assert t.opcode_histogram() == {"addq": 3}
+        t.instructions[1] = DynInstr(ALPHA["ldq"], addr=16, nbytes=8)
+        t.invalidate_summary()
+        assert t.opcode_histogram() == {"addq": 2, "ldq": 1}
+        assert t.memory_references() == 1
+        assert t[1].op.name == "ldq" and t[1].addr == 16
+
+
+def test_view_tail_deletion_matches_list_semantics():
+    rows = _mixed_rows(10)
+    t = _fill(Trace("mom", chunk_rows=4), rows)
+    mark = 6
+    del t.instructions[mark:]           # the vc dry-run discard idiom
+    t.invalidate_summary()
+    assert len(t) == 6
+    assert trace_digest(t) == trace_digest(_fill(Trace("mom"), rows[:6]))
+    del t.instructions[2]
+    t.invalidate_summary()
+    expect = rows[:2] + rows[3:6]
+    assert [i.op.name for i in t] == [r.op.name for r in expect]
+    t.instructions.insert(0, rows[9])
+    t.invalidate_summary()
+    assert t[0].op.name == rows[9].op.name and len(t) == 6
+    t.instructions.clear()
+    assert len(t) == 0
+
+
+def test_view_append_and_extend_write_through():
+    t = Trace("alpha")
+    t.instructions.append(DynInstr(ALPHA["addq"]))
+    t.instructions.extend([DynInstr(ALPHA["subq"]),
+                           DynInstr(ALPHA["mulq"])])
+    t.invalidate_summary()
+    assert [i.op.name for i in t] == ["addq", "subq", "mulq"]
+    assert t.opcode_histogram() == {"addq": 1, "subq": 1, "mulq": 1}
+
+
+# --- storage economics ---------------------------------------------------------
+
+def test_columnar_storage_is_compact():
+    """Sealed storage stays within tens of bytes per instruction -- the
+    whole point of the encoding (the object form measured ~225 B/instr)."""
+    t = _fill(Trace("mom", chunk_rows=1024), _mixed_rows(4096))
+    per_row = t.storage_bytes() / 4096
+    assert per_row < 80, per_row
+
+
+def test_vl_column_survives_large_values():
+    t = Trace("mom", chunk_rows=2)
+    big = DynInstr(MOM["momldq"], addr=0x4000, nbytes=8, stride=1 << 40,
+                   vl=255, dsts=(reg(RegPool.MED, 0),))
+    t.append(big)
+    t.append(DynInstr(ALPHA["addq"]))       # seals the chunk
+    _assert_instr_equal(t[0], big)
+    assert np.int64(t[0].stride) == 1 << 40
+
+
+def test_stale_summary_records_refuse_to_desynchronize():
+    """A summary held across a mutation must not lazily build records of
+    the *new* stream under the *old* statistics -- it raises instead."""
+    t = _fill(Trace("mom"), _mixed_rows(6))
+    stale = t.summary()                     # stats computed, records lazy
+    t.append(DynInstr(ALPHA["addq"]))       # invalidates the cache
+    with pytest.raises(RuntimeError, match="stale TraceSummary"):
+        stale.records
+    # The fresh summary works, and a summary whose records were built
+    # *before* the mutation keeps serving them (snapshot semantics).
+    assert len(t.summary().records) == 7
+    snap = t.summary()
+    records = snap.records
+    t.append(DynInstr(ALPHA["addq"]))
+    assert snap.records is records
