@@ -204,6 +204,19 @@ class Core:
                                    else frozenset())
         self.zero_idioms = (self.ZERO_IDIOMS if zero_idiom_elision
                             else frozenset())
+        self._reset_frontend()
+
+    def _reset_frontend(self) -> None:
+        """Rebuild the run-scoped microarchitectural state.
+
+        Called at the top of every :meth:`run` / :meth:`run_reference` so
+        a reused ``Core`` instance starts each run with cold predictor
+        tables and idle functional units, exactly like a fresh one --
+        predictor counters, BTB tags and FU busy horizons would otherwise
+        leak from the previous trace and silently skew the second run.
+        (The memory system is caller-owned and deliberately *not* reset.)
+        """
+        config = self.config
         self.bpred = BimodalPredictor(config.bimodal_entries)
         self.btb = BranchTargetBuffer(config.btb_entries)
         self.pools = {
@@ -220,7 +233,9 @@ class Core:
             InstrClass.MED_SIMPLE: (self.pools["med"], False),
             InstrClass.MED_COMPLEX: (self.pools["med"], True),
         }
-        self._mem_hint = getattr(memsys, "earliest_issue", None)
+        # Re-resolved here (not just in __init__) so a caller that swaps
+        # in a fresh memory system between runs gets a matching hint.
+        self._mem_hint = getattr(self.memsys, "earliest_issue", None)
 
     # --- public API --------------------------------------------------------------
 
@@ -235,6 +250,7 @@ class Core:
         field -- including stall counters and memory-model statistics,
         whose retry cadence the scheduler reproduces exactly.
         """
+        self._reset_frontend()
         cfg = self.config
         width = cfg.width
         n = len(trace)
@@ -585,6 +601,7 @@ class Core:
         instruction cycle-by-cycle.  Slow, but trivially correct; the
         golden-digest and differential tests pin :meth:`run` against it.
         """
+        self._reset_frontend()
         cfg = self.config
         width = cfg.width
         rob: list[_Entry] = []          # in program order; head at index 0

@@ -12,7 +12,10 @@ Examples::
     repro sweep vc-kernels             # the compiler-built kernels
     repro sweep frame-scale            # one full 720x480 MPEG-2 frame
     repro sweep --kernels idct,motion2 --isas mom --ways 1,2,4,8
+    repro sweep figure5 --no-batch     # per-point Core.run dispatch
     repro kernels                      # registry + per-ISA DLP coverage
+    repro bench                        # regenerate BENCH_batch.json + delta
+    repro bench all --smoke            # fast sanity pass over every suite
     repro cache                        # show cache location / size
     repro cache --clear
     repro cache --prune 7d             # evict entries older than a week
@@ -54,11 +57,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="override the result-cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the persistent result cache")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="simulate same-trace config groups in one "
+                             "BatchCore pass (default: on; results are "
+                             "bit-identical either way)")
 
 
 def _session(args: argparse.Namespace) -> Session:
     return Session(args.cache_dir, jobs=args.jobs,
-                   use_cache=not args.no_cache)
+                   use_cache=not args.no_cache,
+                   batch=getattr(args, "batch", True))
 
 
 def _cmd_figure5(args) -> int:
@@ -195,6 +204,84 @@ def _cmd_sweep(args) -> int:
     results = session.run(points, jobs=args.jobs)
     _print_grid(points, results)
     print(f"\ncache: {session.hits} hits, {session.misses} misses")
+    return 0
+
+
+#: ``repro bench`` suites -> the benchmark module(s) that regenerate
+#: each ``BENCH_*.json``.
+_BENCH_SUITES = {
+    "batch": ("test_batch_speed.py",),
+    "core": ("test_core_speed.py",),
+    "compile": ("test_compile_bench.py",),
+    "serve": ("test_serve_load.py",),
+}
+_BENCH_SUITES["all"] = tuple(f for files in
+                             (_BENCH_SUITES[k] for k in
+                              ("batch", "core", "compile", "serve"))
+                             for f in files)
+
+
+def _flatten_json(data, prefix: str = "") -> dict[str, object]:
+    out: dict[str, object] = {}
+    if isinstance(data, dict):
+        for key, value in data.items():
+            out.update(_flatten_json(value, f"{prefix}{key}."))
+    elif isinstance(data, list):
+        for i, value in enumerate(data):
+            out.update(_flatten_json(value, f"{prefix}{i}."))
+    else:
+        out[prefix[:-1]] = data
+    return out
+
+
+def _cmd_bench(args) -> int:
+    """Regenerate BENCH_*.json locally and print the old-vs-new delta."""
+    import json
+    import os
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[3] / "benchmarks"
+    if not bench_dir.is_dir():
+        print("repro bench: no benchmarks/ directory next to this checkout "
+              f"(looked at {bench_dir}); run from a source tree",
+              file=sys.stderr)
+        return 1
+    files = [bench_dir / name for name in _BENCH_SUITES[args.suite]]
+    before = {p.name: json.loads(p.read_text())
+              for p in bench_dir.glob("BENCH_*.json")}
+    env = dict(os.environ)
+    if args.smoke:
+        env["REPRO_BENCH_SMOKE"] = "1"
+    command = [sys.executable, "-m", "pytest", "-q",
+               *(str(f) for f in files)]
+    print("repro bench:", " ".join(command[2:]))
+    status = subprocess.run(command, cwd=bench_dir.parent, env=env)
+    if status.returncode != 0:
+        print(f"repro bench: pytest exited {status.returncode}",
+              file=sys.stderr)
+        return status.returncode
+    changed = False
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        new = _flatten_json(json.loads(path.read_text()))
+        old = _flatten_json(before.get(path.name, {}))
+        lines = []
+        for key in sorted(new):
+            if old.get(key) == new[key]:
+                continue
+            was = old.get(key, "-")
+            now = new[key]
+            delta = ""
+            if (isinstance(was, (int, float)) and isinstance(now, (int, float))
+                    and not isinstance(was, bool) and was):
+                delta = f"  ({(now - was) / was:+.1%})"
+            lines.append(f"  {key}: {was} -> {now}{delta}")
+        if lines:
+            changed = True
+            print(f"\n{path.name}:")
+            print("\n".join(lines))
+    if not changed:
+        print("\nno BENCH_*.json changes")
     return 0
 
 
@@ -495,6 +582,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("kernels",
                        help="list kernels/apps with per-ISA DLP coverage")
     p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser("bench",
+                       help="regenerate BENCH_*.json locally and print the "
+                            "old-vs-new delta")
+    p.add_argument("suite", nargs="?", default="batch",
+                   choices=sorted(_BENCH_SUITES),
+                   help="benchmark subset to run (default: batch)")
+    p.add_argument("--smoke", action="store_true",
+                   help="tiny workloads (REPRO_BENCH_SMOKE=1): fast sanity "
+                        "pass, numbers not representative")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("cache", help="inspect, clear or prune the result "
                                      "cache")

@@ -99,6 +99,79 @@ def _worker(payload: dict) -> dict:
     return result.to_dict()
 
 
+def build_key(point: PointSpec) -> tuple[str, str, str, int]:
+    """The build-memo key: points sharing it simulate the same trace."""
+    return (point.kind, point.target, point.isa, point.scale)
+
+
+def execute_batch(points: list[PointSpec]) -> list[SimResult]:
+    """Simulate same-trace points as one :class:`BatchCore` pass.
+
+    All points must share a :func:`build_key` (one build, one trace, one
+    decode); each returned :class:`SimResult` is bit-identical to
+    :func:`execute_point` on that point.  Raises
+    :class:`~repro.cpu.batch.UnbatchableError` when a lane cannot run
+    through the batch engine -- callers fall back to per-point execution.
+    """
+    from ..cpu.batch import BatchCore, LaneSpec, UnbatchableError
+
+    if not points:
+        return []
+    keys = {build_key(p) for p in points}
+    if len(keys) > 1:
+        raise UnbatchableError(f"points span {len(keys)} traces")
+    first = points[0]
+    build = built_kernel if first.kind == "kernel" else built_app
+    built = build(first.target, first.isa, first.scale)
+    lanes = [LaneSpec(machine_config(p.way, p.isa), make_memsys(p))
+             for p in points]
+    core = BatchCore(lanes)        # validates lanes before any simulation
+    group = "-".join(str(k) for k in build_key(first))
+    start = time.perf_counter()
+    results = core.run(built.trace)
+    elapsed = time.perf_counter() - start
+    share = elapsed / len(points)
+    for result in results:
+        # sim_seconds is this lane's amortized share of the batch pass,
+        # keeping per-point throughput numbers comparable with the
+        # sequential path; the whole-pass cost rides along untouched.
+        result.meta["sim_seconds"] = round(share, 6)
+        if share > 0:
+            result.meta["sim_instructions_per_second"] = round(
+                result.instructions / share)
+        result.meta["batch_lanes"] = len(points)
+        result.meta["batch_group"] = group
+        result.meta["batch_seconds"] = round(elapsed, 6)
+    return results
+
+
+def batching_enabled() -> bool:
+    """Process-wide batch toggle (``REPRO_NO_BATCH=1`` disables)."""
+    return os.environ.get("REPRO_NO_BATCH") != "1"
+
+
+def execute_group(points: list[PointSpec]) -> list[SimResult]:
+    """Execute one same-trace group, batched when possible.
+
+    Single-point groups and unbatchable lane sets take the plain
+    :func:`execute_point` path; results are identical either way.
+    """
+    from ..cpu.batch import UnbatchableError
+
+    if len(points) > 1 and batching_enabled():
+        try:
+            return execute_batch(points)
+        except UnbatchableError:
+            pass
+    return [execute_point(point) for point in points]
+
+
+def _group_worker(payloads: list[dict]) -> list[dict]:
+    """Process-pool entry: execute one same-trace group of points."""
+    points = [PointSpec.from_payload(p) for p in payloads]
+    return [result.to_dict() for result in execute_group(points)]
+
+
 def _default_cache_dir() -> Path:
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
@@ -129,17 +202,23 @@ class Session:
         use_cache: disable the persistent layer entirely (an in-memory
             memo still serves repeats within this session).  Also
             disabled by ``REPRO_NO_CACHE=1``.
+        batch: dispatch same-trace cache misses through
+            :class:`~repro.cpu.batch.BatchCore` (one decode pass for the
+            whole group) instead of looping ``Core.run``.  Results are
+            bit-identical; only wall-clock differs.  Also disabled by
+            ``REPRO_NO_BATCH=1``.
     """
 
     def __init__(self, cache_dir: str | Path | None = None, *,
                  jobs: int = 1, salt: str | None = None,
-                 use_cache: bool = True) -> None:
+                 use_cache: bool = True, batch: bool = True) -> None:
         if os.environ.get("REPRO_NO_CACHE") == "1":
             use_cache = False
         self.cache = (ResultCache(cache_dir or _default_cache_dir())
                       if use_cache else None)
         self.salt = source_fingerprint() if salt is None else salt
         self.jobs = jobs
+        self.batch = batch
         self.hits = 0
         self.misses = 0
         self._memo: dict[str, SimResult] = {}
@@ -226,17 +305,22 @@ class Session:
             return (sweep,)
         return tuple(sweep)
 
-    def run(self, sweep, jobs: int | None = None
-            ) -> dict[PointSpec, SimResult]:
+    def run(self, sweep, jobs: int | None = None, *,
+            batch: bool | None = None) -> dict[PointSpec, SimResult]:
         """Run a sweep; returns ``{point: result}`` in sweep order.
 
-        Cache misses execute in process when the effective ``jobs`` is 1,
-        else on a process pool ``jobs`` wide.  Results are identical
-        either way; they are stored back to the persistent cache so a
-        warm rerun performs no simulation at all.
+        Cache misses are grouped by :func:`build_key` -- points of one
+        group simulate the same trace -- and each group runs as a single
+        :class:`~repro.cpu.batch.BatchCore` pass (``batch=False`` or
+        unbatchable groups loop ``Core.run`` instead; results are
+        bit-identical).  Groups execute in process when the effective
+        ``jobs`` is 1, else on a process pool ``jobs`` wide.  Results
+        are stored back to the persistent cache so a warm rerun performs
+        no simulation at all.
         """
         points = self.resolve(sweep)
         jobs = self.jobs if jobs is None else jobs
+        batch = self.batch if batch is None else batch
         results: dict[PointSpec, SimResult] = {}
         missing: list[PointSpec] = []
         for point in points:
@@ -249,25 +333,54 @@ class Session:
             else:
                 missing.append(point)
 
+        # Same-trace groups, in first-appearance order.  With batching
+        # off every point is its own group, which preserves the
+        # historical per-point dispatch exactly.
+        groups: list[list[PointSpec]] = []
+        if batch:
+            by_key: dict[tuple, list[PointSpec]] = {}
+            for point in missing:
+                key = build_key(point)
+                if key in by_key:
+                    by_key[key].append(point)
+                else:
+                    by_key[key] = group = [point]
+                    groups.append(group)
+        else:
+            groups = [[point] for point in missing]
+
         if missing and jobs > 1:
             self.misses += len(missing)
-            # Contiguous chunks keep the points of one target in the same
-            # worker, so its per-process build memo is reused instead of
-            # every worker rebuilding every kernel.
-            chunk = max(1, -(-len(missing) // jobs))
+            # One task per same-trace group: the group's build (and its
+            # decode, when batched) happens once in one worker instead of
+            # every worker rebuilding every target.
+            # (With batching off, groups are singletons and the group
+            # worker degenerates to the historical per-point worker.)
             with ProcessPoolExecutor(max_workers=jobs) as pool:
-                payloads = [p.payload() for p in missing]
-                for point, data in zip(missing,
-                                       pool.map(_worker, payloads,
-                                                chunksize=chunk)):
-                    result = SimResult.from_dict(data)
-                    self.store(point, result)
-                    results[point] = result
+                payloads = [[p.payload() for p in group]
+                            for group in groups]
+                for group, datas in zip(groups,
+                                        pool.map(_group_worker, payloads)):
+                    for point, data in zip(group, datas):
+                        result = SimResult.from_dict(data)
+                        self.store(point, result)
+                        results[point] = result
+        elif batch:
+            for group in groups:
+                self._run_group(group, results)
         else:
             for point in missing:
                 results[point] = self.run_point(point)
 
         return {point: results[point] for point in points}
+
+    def _run_group(self, group: list[PointSpec],
+                   results: dict[PointSpec, SimResult]) -> None:
+        """Execute one same-trace group in process, caching per point."""
+        self.misses += len(group)
+        for point, result in zip(group, execute_group(group)):
+            self.store(point, result)
+            results[point] = result
 
 
 _DEFAULT_SESSION: Session | None = None

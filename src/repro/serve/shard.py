@@ -67,7 +67,7 @@ def _shard_worker(task_queue, result_queue) -> None:
     """Worker-process main loop: execute point batches, stream results."""
     import signal
 
-    from ..exp.engine import execute_point
+    from ..exp.engine import batching_enabled, execute_batch, execute_point
     from ..exp.spec import PointSpec
 
     # Ctrl-C on `repro serve` delivers SIGINT to the whole foreground
@@ -80,6 +80,20 @@ def _shard_worker(task_queue, result_queue) -> None:
         task = task_queue.get()
         if task is _STOP:
             break
+        # Batches are same-build by construction (submit() asserts it),
+        # so a multi-point task is exactly a BatchCore lane group: one
+        # decode pass for the whole batch instead of a Core.run loop.
+        # Any failure -- an unbatchable lane, a model error -- falls back
+        # to the per-point path, which reports errors point by point.
+        if len(task) > 1 and batching_enabled():
+            try:
+                points = [PointSpec.from_payload(p) for _, p in task]
+                results = execute_batch(points)
+                for (key, _payload), result in zip(task, results):
+                    result_queue.put((key, result.to_dict(), None))
+                continue
+            except BaseException:
+                pass           # diagnose per point below
         for key, payload in task:
             try:
                 result = execute_point(PointSpec.from_payload(payload))

@@ -1,0 +1,146 @@
+"""BatchCore parity: every lane bit-identical to a fresh ``Core.run``.
+
+The batch engine shares one decode pass -- records, dependence edges,
+branch-predictor streams, packed register charges -- across all
+configuration lanes, so these tests pin the only thing that matters:
+each lane's ``SimResult`` digests identically to running that lane alone
+through ``Core``.  Covered: the full golden mini-grid batched per trace,
+randomized mixed-lane batches (Table-1 configs x ablation knobs x
+perfect-vs-cache memory), duplicate-lane collapsing, ring wrap-around
+with artificially small decode blocks, and the unbatchable fallbacks.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.cpu import Core, machine_config
+from repro.cpu.batch import BatchCore, LaneSpec, UnbatchableError
+from repro.exp.engine import built_kernel
+from repro.memsys import PerfectMemory
+
+from test_golden_digest import (GOLDEN_DIGESTS, grid_points, make_memsys,
+                                result_digest)
+
+
+def _grouped_grid():
+    return [(key, list(points)) for key, points in itertools.groupby(
+        sorted(grid_points()), key=lambda p: (p[0], p[1]))]
+
+
+@pytest.mark.parametrize("group,points", _grouped_grid(),
+                         ids=lambda v: "-".join(v) if isinstance(v, tuple)
+                         and isinstance(v[0], str) else None)
+def test_golden_grid_batched_per_trace(group, points):
+    """All (way, memory) lanes of one trace in a single batch pass."""
+    kernel, isa = group
+    trace = built_kernel(kernel, isa).trace
+    lanes = [LaneSpec(machine_config(way, isa), make_memsys(mem, way, isa))
+             for _, _, way, mem in points]
+    results = BatchCore(lanes).run(trace)
+    for (k, i, way, mem), result in zip(points, results):
+        assert result_digest(result) == GOLDEN_DIGESTS[(k, i, way, mem)], \
+            (k, i, way, mem)
+
+
+KNOB_SPACE = [
+    dict(acc_chaining=ac, late_release=lr, zero_idiom_elision=ze)
+    for ac in (True, False) for lr in (True, False) for ze in (True, False)
+]
+
+
+def test_mixed_lane_fuzz_matches_per_lane_core():
+    """Random lane subsets -- knobs and memory models diverging *within*
+    one batch -- each match a fresh per-lane ``Core.run`` digest."""
+    rng = random.Random(0xB47C)
+    for kernel, isa in (("idct", "mom"), ("motion2", "mom"),
+                        ("idct", "mmx"), ("motion2", "alpha")):
+        trace = built_kernel(kernel, isa).trace
+        memories = ["perfect", "latency50", "cache"]
+        if isa == "mom":
+            memories += ["vectorcache", "collapsing"]
+        pool = [(way, mem, knobs) for way in (2, 8) for mem in memories
+                for knobs in KNOB_SPACE]
+        picks = rng.sample(pool, 8)
+        lanes = [LaneSpec(machine_config(way, isa),
+                          make_memsys(mem, way, isa), **knobs)
+                 for way, mem, knobs in picks]
+        results = BatchCore(lanes).run(trace)
+        for (way, mem, knobs), result in zip(picks, results):
+            ref = Core(machine_config(way, isa), make_memsys(mem, way, isa),
+                       **knobs).run(trace)
+            assert result_digest(result) == result_digest(ref), \
+                (kernel, isa, way, mem, knobs)
+
+
+def test_duplicate_perfect_lanes_collapse_and_mirror():
+    """Identical perfect-memory lanes run once; mirrors are flagged and
+    digest identically to their representative."""
+    trace = built_kernel("idct", "mom").trace
+    cfg = machine_config(8, "mom")
+
+    def lane():
+        return LaneSpec(cfg, PerfectMemory(1, cfg.mem_ports,
+                                           cfg.mem_port_width))
+
+    results = BatchCore([lane(), lane(), lane()]).run(trace)
+    digests = {result_digest(r) for r in results}
+    assert len(digests) == 1
+    assert "batch_mirrored" not in results[0].meta
+    assert results[1].meta.get("batch_mirrored") is True
+    assert results[2].meta.get("batch_mirrored") is True
+    assert digests.pop() == GOLDEN_DIGESTS[("idct", "mom", 8, "perfect")]
+
+
+def test_cache_lanes_never_collapse():
+    """Stateful hierarchies must not dedup even when configured equally."""
+    lane_a = LaneSpec(machine_config(2, "alpha"),
+                      make_memsys("cache", 2, "alpha"))
+    lane_b = LaneSpec(machine_config(2, "alpha"),
+                      make_memsys("cache", 2, "alpha"))
+    assert lane_a.dedup_key() is None and lane_b.dedup_key() is None
+    trace = built_kernel("idct", "alpha").trace
+    results = BatchCore([lane_a, lane_b]).run(trace)
+    assert all("batch_mirrored" not in r.meta for r in results)
+    assert result_digest(results[0]) == result_digest(results[1]) \
+        == GOLDEN_DIGESTS[("idct", "alpha", 2, "cache")]
+
+
+def test_ring_wraparound_with_tiny_blocks(monkeypatch):
+    """Small decode blocks force many pause/resume rounds and full ring
+    wrap-around; timing must be unaffected (pausing is cycle-transparent)."""
+    monkeypatch.setattr(BatchCore, "BLOCK", 256)
+    monkeypatch.setattr(BatchCore, "RING", 512)
+    for kernel, isa, way, mem in (("idct", "alpha", 8, "cache"),
+                                  ("motion2", "mmx", 2, "perfect")):
+        trace = built_kernel(kernel, isa).trace
+        assert len(trace) > 512      # otherwise nothing wraps
+        lanes = [LaneSpec(machine_config(way, isa),
+                          make_memsys(mem, way, isa))]
+        (result,) = BatchCore(lanes).run(trace)
+        assert result_digest(result) == GOLDEN_DIGESTS[(kernel, isa, way,
+                                                        mem)]
+
+
+def test_memsys_without_try_issue_is_unbatchable():
+    class Weird:
+        pass
+
+    with pytest.raises(UnbatchableError):
+        BatchCore([LaneSpec(machine_config(2, "alpha"), Weird())])
+
+
+def test_empty_lane_list_rejected():
+    with pytest.raises(ValueError):
+        BatchCore([])
+
+
+def test_plain_pairs_promote_to_lanespec():
+    trace = built_kernel("idct", "alpha").trace
+    cfg = machine_config(2, "alpha")
+    (result,) = BatchCore(
+        [(cfg, PerfectMemory(1, cfg.mem_ports, cfg.mem_port_width))]
+    ).run(trace)
+    assert result_digest(result) == GOLDEN_DIGESTS[("idct", "alpha", 2,
+                                                    "perfect")]

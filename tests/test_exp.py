@@ -302,6 +302,86 @@ def test_run_accepts_point_iterables(tmp_path):
     assert results[point].cycles > 0
 
 
+# --- Session: batch-lane grouping -------------------------------------------------
+
+BATCH_SWEEP = SweepSpec(name="batchy", kind="kernel", targets=("addblock",),
+                        isas=("alpha", "mom"), ways=(1, 2, 4))
+
+
+def test_batched_sweep_matches_unbatched(tmp_path):
+    """Same-trace groups dispatched through BatchCore must reproduce the
+    point-at-a-time results exactly (equality excludes meta)."""
+    plain = Session(tmp_path / "a", salt="x").run(BATCH_SWEEP, batch=False)
+    batched = Session(tmp_path / "b", salt="x").run(BATCH_SWEEP, batch=True)
+    assert list(plain) == list(batched)
+    for point in plain:
+        assert plain[point] == batched[point], point
+
+
+def test_batch_meta_records_lanes_and_group(tmp_path):
+    session = Session(tmp_path, salt="x")
+    results = session.run(BATCH_SWEEP, batch=True)
+    for point, result in results.items():
+        # Each (kernel, isa) build is one lane group of all three ways.
+        assert result.meta["batch_lanes"] == 3, point
+        assert result.meta["batch_group"] == \
+            f"kernel-{point.target}-{point.isa}-1"
+        assert result.meta["sim_seconds"] > 0
+
+
+def test_singleton_group_skips_batching(tmp_path):
+    session = Session(tmp_path, salt="x")
+    result = session.run_point(PointSpec(**KERNEL_POINT))
+    assert "batch_lanes" not in result.meta
+
+
+def test_batch_falls_back_per_point_when_unbatchable(tmp_path, monkeypatch):
+    """If a group cannot run through BatchCore the session silently falls
+    back to per-point execution rather than failing the sweep."""
+    import repro.exp.engine as engine
+    from repro.cpu.batch import UnbatchableError
+
+    def refuse(points):
+        raise UnbatchableError("forced by test")
+
+    monkeypatch.setattr(engine, "execute_batch", refuse)
+    results = Session(tmp_path, salt="x").run(BATCH_SWEEP, batch=True)
+    reference = Session(tmp_path / "ref", salt="x").run(
+        BATCH_SWEEP, batch=False)
+    for point in reference:
+        assert results[point] == reference[point]
+        assert "batch_lanes" not in results[point].meta
+
+
+def test_repro_no_batch_env_disables_batching(tmp_path, monkeypatch):
+    from repro.exp.engine import batching_enabled
+
+    monkeypatch.setenv("REPRO_NO_BATCH", "1")
+    assert not batching_enabled()
+    results = Session(tmp_path, salt="x").run(BATCH_SWEEP, batch=True)
+    assert all("batch_lanes" not in r.meta for r in results.values())
+
+
+def test_jobs_parallel_batched_matches_sequential(tmp_path):
+    seq = Session(tmp_path / "a", salt="x").run(BATCH_SWEEP, jobs=1,
+                                                batch=False)
+    par = Session(tmp_path / "b", salt="x").run(BATCH_SWEEP, jobs=2,
+                                                batch=True)
+    for point in seq:
+        assert seq[point] == par[point], point
+    for result in par.values():
+        assert result.meta["batch_lanes"] == 3
+
+
+def test_batched_results_are_cached_per_point(tmp_path):
+    session = Session(tmp_path, salt="x")
+    session.run(BATCH_SWEEP, batch=True)
+    warm = Session(tmp_path, salt="x")
+    warm.run(BATCH_SWEEP, batch=False)
+    assert warm.misses == 0
+    assert warm.hits == len(BATCH_SWEEP.points())
+
+
 # --- build memo and stable build hashing ------------------------------------------
 
 def test_built_kernel_memoized_and_stable():

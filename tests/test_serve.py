@@ -371,3 +371,37 @@ def test_worker_killed_while_idle_does_not_poison_the_queue():
         assert error is None and result["cycles"] > 0
     finally:
         pool.close()
+
+
+def test_multi_point_task_runs_through_batch_core():
+    """A same-build multi-point task takes the worker's BatchCore path:
+    results stream back per point, bit-identical to ``execute_point``,
+    with the batch provenance recorded in meta."""
+    from repro.cpu import SimResult
+    from repro.exp.engine import execute_point
+    from repro.serve.shard import ShardPool
+
+    batch = [(f"k{way}", PointSpec(kind="kernel", target="idct", isa="mom",
+                                   way=way).payload())
+             for way in (1, 2, 4, 8)]
+    results: dict[str, tuple] = {}
+    done = threading.Event()
+
+    def on_result(key, result, error):
+        results[key] = (result, error)
+        if len(results) == len(batch):
+            done.set()
+
+    pool = ShardPool(1, on_result)
+    try:
+        pool.submit(batch)
+        assert done.wait(300), "batched task never completed"
+    finally:
+        pool.close()
+
+    for key, payload in batch:
+        got, error = results[key]
+        assert error is None
+        assert got["meta"]["batch_lanes"] == len(batch)
+        assert SimResult.from_dict(got) == \
+            execute_point(PointSpec.from_payload(payload))
