@@ -20,10 +20,17 @@ from pathlib import Path
 import pytest
 
 from repro.cpu import Core, machine_config
+from repro.cpu.jit import NUMBA_VERSION, jit_enabled, numba_available, warm
 from repro.exp.engine import built_kernel
 from repro.memsys import PerfectMemory
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: jit rows are timed only with a real compiler -- benchmarking the
+#: REPRO_JIT_PUREPY shim would record meaningless numbers.  The JSON
+#: always says whether the rows are present ("numba"/"jit_rows"), so the
+#: ``repro bench`` delta printer shows n/a instead of raising on hosts
+#: where availability differs.
+JIT_BENCH = numba_available() and jit_enabled()
 KERNEL = "idct"
 SCALE = 1 if SMOKE else 4
 WAY = 4
@@ -39,14 +46,14 @@ def _fresh_core(isa):
     return Core(cfg, PerfectMemory(1, cfg.mem_ports, cfg.mem_port_width))
 
 
-def _time(engine_name, isa, trace):
+def _time(engine_name, isa, trace, **kw):
     best = None
     result = None
     for _ in range(REPS):
         core = _fresh_core(isa)
         engine = getattr(core, engine_name)
         start = time.perf_counter()
-        result = engine(trace)
+        result = engine(trace, **kw)
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return best, result
@@ -69,6 +76,8 @@ def emit_bench_json():
         "scale": SCALE,
         "way": WAY,
         "smoke": SMOKE,
+        "numba": NUMBA_VERSION,
+        "jit_rows": JIT_BENCH,
         "geomean_speedup": round(geomean, 2),
         "results": _results,
     }, indent=2) + "\n")
@@ -81,7 +90,9 @@ def test_core_speed(isa):
     trace = built.trace
     trace.timing_records()      # one-time trace classification, untimed
 
-    event_s, event_result = _time("run", isa, trace)
+    # jit=False pins the interpreted path so the event row stays
+    # comparable with the PR 2/6 trajectories on numba-equipped hosts.
+    event_s, event_result = _time("run", isa, trace, jit=False)
     reference_s, reference_result = _time("run_reference", isa, trace)
     assert event_result == reference_result, "engines diverged"
 
@@ -94,6 +105,14 @@ def test_core_speed(isa):
         "reference_ips": round(n / reference_s),
         "speedup": round(reference_s / event_s, 2),
     }
+    if JIT_BENCH:
+        warm()      # compile outside the timed region
+        jit_s, jit_result = _time("run", isa, trace, jit=True)
+        assert jit_result == event_result, "jit path diverged"
+        assert jit_result.meta["jit"] is True
+        row["jit_seconds"] = round(jit_s, 4)
+        row["jit_ips"] = round(n / jit_s)
+        row["jit_speedup"] = round(event_s / jit_s, 2)
     _results[isa] = row
     print(f"\n{isa:6s} n={n:6d}  event {row['event_ips']:>8d} i/s  "
           f"reference {row['reference_ips']:>8d} i/s  "

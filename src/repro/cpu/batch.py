@@ -1006,9 +1006,14 @@ class BatchCore:
     BLOCK = 1 << 16
     RING = 1 << 17
 
-    def __init__(self, lanes) -> None:
+    def __init__(self, lanes, *, jit: bool | None = None) -> None:
+        """``jit`` forces the compiled fast path on/off for every lane it
+        can express; ``None`` (default) uses it when available unless
+        ``REPRO_NO_JIT=1``.  Inexpressible lanes always stay on the
+        interpreted steppers (a *mixed* group runs both paths)."""
         if _np is None:
             raise UnbatchableError("numpy is unavailable")
+        self.jit = jit
         specs: list[LaneSpec] = []
         for lane in lanes:
             if not isinstance(lane, LaneSpec):
@@ -1050,8 +1055,33 @@ class BatchCore:
         reps = [i for i in range(len(lanes)) if share[i] == i]
 
         if n == 0:
-            return [self._result(lane, 0, 0, 0, None, 0,
-                                 operations=operations) for lane in lanes]
+            results = [self._result(lane, 0, 0, 0, None, 0,
+                                    operations=operations) for lane in lanes]
+            for result in results:
+                result.meta["jit"] = False
+            return results
+
+        # Representatives the jit kernel can express run through it (one
+        # shared-decode pass of their own); the rest -- and everything,
+        # on an UnjittableError -- stay on the interpreted steppers.
+        from .jit import (UnjittableError, jit_available, jit_enabled,
+                          lane_unjittable_reason, run_lanes_jit)
+        use_jit = jit_enabled() if self.jit is None else bool(self.jit)
+        jit_stats: dict[int, dict] = {}
+        if use_jit and jit_available():
+            jit_reps = [i for i in reps
+                        if lane_unjittable_reason(lanes[i]) is None]
+            if jit_reps:
+                try:
+                    stats = run_lanes_jit(
+                        [lanes[i] for i in jit_reps], trace,
+                        block=self.BLOCK, ring=self.RING,
+                        stream_threshold=self.STREAM_THRESHOLD)
+                except UnjittableError:
+                    pass
+                else:
+                    jit_stats = dict(zip(jit_reps, stats))
+        py_reps = [i for i in reps if i not in jit_stats]
 
         # Same record-source policy as Core.run: cached records for the
         # grid-reuse regime, streamed chunks for frame-scale traces.
@@ -1060,8 +1090,8 @@ class BatchCore:
         else:
             next_record = trace.iter_timing_records().__next__
 
-        states = [_LaneState(lanes[i], i) for i in reps]
-        dep_cap = max(st.rob_size for st in states)
+        states = [_LaneState(lanes[i], i) for i in py_reps]
+        dep_cap = max((st.rob_size for st in states), default=1)
         shared = _SharedDecode(n, next_record, dep_cap,
                                {st.ctl_key for st in states},
                                self.BLOCK, self.RING)
@@ -1104,7 +1134,7 @@ class BatchCore:
 
         for st in states:
             st.sync = make_sync(st.index, st.phys_limit, st.lsq_size)
-        rep_rows = _np.array(reps)
+        rep_rows = _np.array(py_reps, dtype=_np.int64)
 
         steppers = [_lane_stepper(st, shared) for st in states]
         active = []
@@ -1145,15 +1175,35 @@ class BatchCore:
             if was_enabled:
                 gc.enable()
 
+        # Jit lanes never stepped through the snapshot syncs; record
+        # their final state so self.state reads consistently.
+        for i, s in jit_stats.items():
+            state["cycle"][i] = s["cycles"]
+            state["committed"][i] = n
+            state["fetch_index"][i] = n
+            state["fetch_stall_cycles"][i] = s["fetch_stalls"]
+            state["rename_stall_events"][i] = s["rename_stalls"]
+
         by_rep = {st.index: st for st in states}
         results: list[SimResult] = []
         for idx, lane in enumerate(lanes):
-            st = by_rep[share[idx]]
-            ctl = shared.ctl[st.ctl_key]
-            results.append(self._result(
-                lane, st.cycles, st.fetch_stalls, st.rename_stalls,
-                ctl, n, mirrored=share[idx] != idx,
-                stats_of=lanes[share[idx]], operations=operations))
+            rep = share[idx]
+            s = jit_stats.get(rep)
+            if s is not None:
+                result = self._result(
+                    lane, s["cycles"], s["fetch_stalls"],
+                    s["rename_stalls"], s["ctl"], n, mirrored=rep != idx,
+                    stats_of=lanes[rep], operations=operations)
+                result.meta["jit"] = True
+            else:
+                st = by_rep[rep]
+                ctl = shared.ctl[st.ctl_key]
+                result = self._result(
+                    lane, st.cycles, st.fetch_stalls, st.rename_stalls,
+                    ctl, n, mirrored=rep != idx,
+                    stats_of=lanes[rep], operations=operations)
+                result.meta["jit"] = False
+            results.append(result)
         return results
 
     @staticmethod

@@ -239,7 +239,7 @@ class Core:
 
     # --- public API --------------------------------------------------------------
 
-    def run(self, trace: Trace) -> SimResult:
+    def run(self, trace: Trace, *, jit: bool | None = None) -> SimResult:
         """Simulate a full trace to completion and return statistics.
 
         Event-driven: per-producer wakeup lists re-examine only the
@@ -249,8 +249,21 @@ class Core:
         happen.  Bit-identical to :meth:`run_reference` in every result
         field -- including stall counters and memory-model statistics,
         whose retry cadence the scheduler reproduces exactly.
+
+        Args:
+            jit: ``True``/``False`` forces the compiled fast path on or
+                off; ``None`` (default) uses it when available unless
+                ``REPRO_NO_JIT=1``.  Points the kernel cannot express
+                fall back to this interpreted loop automatically;
+                ``result.meta["jit"]`` records which path ran.
         """
         self._reset_frontend()
+        from .jit import jit_enabled
+        use_jit = jit_enabled() if jit is None else bool(jit)
+        if use_jit:
+            result = self._run_jit(trace)
+            if result is not None:
+                return result
         cfg = self.config
         width = cfg.width
         n = len(trace)
@@ -582,7 +595,7 @@ class Core:
                     rename_stalls += skipped
                 cycle = nxt - 1     # the loop header re-increments
 
-        return SimResult(
+        result = SimResult(
             cycles=cycle,
             instructions=n,
             operations=trace.operation_count(),
@@ -593,6 +606,49 @@ class Core:
             rename_stall_events=rename_stalls,
             mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats") else {},
         )
+        result.meta["jit"] = False
+        return result
+
+    def _run_jit(self, trace: Trace) -> SimResult | None:
+        """Attempt the compiled fast path; ``None`` means fall back.
+
+        The jit kernel consumes the same shared-decode rings as
+        :class:`~repro.cpu.batch.BatchCore` and is bit-identical to this
+        method's interpreted loop on every result field.  Inexpressible
+        points (non-perfect memory, numba missing, in-kernel capacity
+        limits) return ``None`` without mutating caller-visible state.
+        """
+        from .jit import (UnjittableError, jit_available,
+                          lane_unjittable_reason, run_lanes_jit)
+        if not jit_available() or len(trace) == 0:
+            return None
+        from .batch import LaneSpec
+        spec = LaneSpec(self.config, self.memsys,
+                        acc_chaining=self.acc_chaining,
+                        late_release=bool(self.late_release_pools),
+                        zero_idiom_elision=bool(self.zero_idioms))
+        if lane_unjittable_reason(spec) is not None:
+            return None
+        try:
+            (stats,) = run_lanes_jit(
+                [spec], trace, stream_threshold=self.STREAM_THRESHOLD)
+        except UnjittableError:
+            return None
+        ctl = stats["ctl"]
+        result = SimResult(
+            cycles=stats["cycles"],
+            instructions=len(trace),
+            operations=trace.operation_count(),
+            branch_lookups=ctl.lookups,
+            branch_mispredicts=ctl.mispredicts,
+            btb_misses=ctl.btb_misses,
+            fetch_stall_cycles=stats["fetch_stalls"],
+            rename_stall_events=stats["rename_stalls"],
+            mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats")
+            else {},
+        )
+        result.meta["jit"] = True
+        return result
 
     def run_reference(self, trace: Trace) -> SimResult:
         """The seed per-cycle busy-wait engine, kept as the timing oracle.

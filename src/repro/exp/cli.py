@@ -62,12 +62,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="simulate same-trace config groups in one "
                              "BatchCore pass (default: on; results are "
                              "bit-identical either way)")
+    parser.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="use the compiled timing-core fast path when "
+                             "numba is available (default: on; results are "
+                             "bit-identical either way)")
 
 
 def _session(args: argparse.Namespace) -> Session:
+    import os
+
+    jit = getattr(args, "jit", True)
+    if not jit:
+        # Pool workers pick the toggle up from the environment; in-process
+        # execution additionally honors Session(jit=False).
+        os.environ["REPRO_NO_JIT"] = "1"
     return Session(args.cache_dir, jobs=args.jobs,
                    use_cache=not args.no_cache,
-                   batch=getattr(args, "batch", True))
+                   batch=getattr(args, "batch", True), jit=jit)
 
 
 def _cmd_figure5(args) -> int:
@@ -234,6 +246,28 @@ def _flatten_json(data, prefix: str = "") -> dict[str, object]:
     return out
 
 
+def _bench_delta_lines(old: dict, new: dict) -> list[str]:
+    """Old-vs-new lines over the *union* of flattened keys.
+
+    BENCH schemas drift between PRs (new jit fields, retired counters), so
+    a key may exist on only one side; those print with an ``n/a`` marker
+    instead of raising ``KeyError``.  Unchanged keys are omitted.
+    """
+    lines = []
+    for key in sorted(old.keys() | new.keys()):
+        if key in old and key in new and old[key] == new[key]:
+            continue
+        was = old.get(key, "n/a")
+        now = new.get(key, "n/a")
+        delta = ""
+        if (isinstance(was, (int, float)) and isinstance(now, (int, float))
+                and not isinstance(was, bool) and not isinstance(now, bool)
+                and was):
+            delta = f"  ({(now - was) / was:+.1%})"
+        lines.append(f"  {key}: {was} -> {now}{delta}")
+    return lines
+
+
 def _cmd_bench(args) -> int:
     """Regenerate BENCH_*.json locally and print the old-vs-new delta."""
     import json
@@ -253,6 +287,8 @@ def _cmd_bench(args) -> int:
     env = dict(os.environ)
     if args.smoke:
         env["REPRO_BENCH_SMOKE"] = "1"
+    if not getattr(args, "jit", True):
+        env["REPRO_NO_JIT"] = "1"
     command = [sys.executable, "-m", "pytest", "-q",
                *(str(f) for f in files)]
     print("repro bench:", " ".join(command[2:]))
@@ -265,17 +301,7 @@ def _cmd_bench(args) -> int:
     for path in sorted(bench_dir.glob("BENCH_*.json")):
         new = _flatten_json(json.loads(path.read_text()))
         old = _flatten_json(before.get(path.name, {}))
-        lines = []
-        for key in sorted(new):
-            if old.get(key) == new[key]:
-                continue
-            was = old.get(key, "-")
-            now = new[key]
-            delta = ""
-            if (isinstance(was, (int, float)) and isinstance(now, (int, float))
-                    and not isinstance(was, bool) and was):
-                delta = f"  ({(now - was) / was:+.1%})"
-            lines.append(f"  {key}: {was} -> {now}{delta}")
+        lines = _bench_delta_lines(old, new)
         if lines:
             changed = True
             print(f"\n{path.name}:")
@@ -539,15 +565,19 @@ def _add_endpoint(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from ..cpu.jit import NUMBA_VERSION
     from ..serve.protocol import PROTOCOL_VERSION
 
+    numba = (f"numba {NUMBA_VERSION}" if NUMBA_VERSION is not None
+             else "numba unavailable, jit falls back to pure python")
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce figures and tables of the MOM paper "
                     "(MICRO 1999) through the unified experiment engine.")
     parser.add_argument(
         "--version", action="version",
-        version=f"repro {__version__} (serve protocol {PROTOCOL_VERSION})")
+        version=f"repro {__version__} (serve protocol {PROTOCOL_VERSION}; "
+                f"{numba})")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("figure5", help="kernel speedups across issue widths")
@@ -592,6 +622,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="tiny workloads (REPRO_BENCH_SMOKE=1): fast sanity "
                         "pass, numbers not representative")
+    p.add_argument("--jit", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="let benchmark rows use the compiled fast path "
+                        "(--no-jit exports REPRO_NO_JIT=1 to the pytest "
+                        "subprocess)")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("cache", help="inspect, clear or prune the result "

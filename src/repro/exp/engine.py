@@ -71,20 +71,22 @@ def make_memsys(point: PointSpec):
     return factory(point.way)
 
 
-def execute_point(point: PointSpec) -> SimResult:
+def execute_point(point: PointSpec, *, jit: bool | None = None) -> SimResult:
     """Build, verify and simulate one point (no caching).
 
     The wall-clock cost of the cycle-level simulation itself is recorded
     in ``result.meta`` (``sim_seconds``, ``sim_instructions_per_second``)
     so sweeps and the core-speed benchmark can track simulator throughput;
-    ``meta`` is excluded from result equality and digests.
+    ``meta`` is excluded from result equality and digests.  ``jit``
+    forwards to :meth:`Core.run` (``None`` defers to availability and
+    ``REPRO_NO_JIT``); either path returns bit-identical results.
     """
     build = built_kernel if point.kind == "kernel" else built_app
     built = build(point.target, point.isa, point.scale)
     cfg = machine_config(point.way, point.isa)
     core = Core(cfg, make_memsys(point))
     start = time.perf_counter()
-    result = core.run(built.trace)
+    result = core.run(built.trace, jit=jit)
     elapsed = time.perf_counter() - start
     result.meta["sim_seconds"] = round(elapsed, 6)
     if elapsed > 0:
@@ -104,7 +106,8 @@ def build_key(point: PointSpec) -> tuple[str, str, str, int]:
     return (point.kind, point.target, point.isa, point.scale)
 
 
-def execute_batch(points: list[PointSpec]) -> list[SimResult]:
+def execute_batch(points: list[PointSpec],
+                  *, jit: bool | None = None) -> list[SimResult]:
     """Simulate same-trace points as one :class:`BatchCore` pass.
 
     All points must share a :func:`build_key` (one build, one trace, one
@@ -125,7 +128,7 @@ def execute_batch(points: list[PointSpec]) -> list[SimResult]:
     built = build(first.target, first.isa, first.scale)
     lanes = [LaneSpec(machine_config(p.way, p.isa), make_memsys(p))
              for p in points]
-    core = BatchCore(lanes)        # validates lanes before any simulation
+    core = BatchCore(lanes, jit=jit)   # validates lanes before simulation
     group = "-".join(str(k) for k in build_key(first))
     start = time.perf_counter()
     results = core.run(built.trace)
@@ -150,7 +153,14 @@ def batching_enabled() -> bool:
     return os.environ.get("REPRO_NO_BATCH") != "1"
 
 
-def execute_group(points: list[PointSpec]) -> list[SimResult]:
+def jitting_enabled() -> bool:
+    """Process-wide jit toggle (``REPRO_NO_JIT=1`` disables)."""
+    from ..cpu.jit import jit_enabled
+    return jit_enabled()
+
+
+def execute_group(points: list[PointSpec],
+                  *, jit: bool | None = None) -> list[SimResult]:
     """Execute one same-trace group, batched when possible.
 
     Single-point groups and unbatchable lane sets take the plain
@@ -160,10 +170,10 @@ def execute_group(points: list[PointSpec]) -> list[SimResult]:
 
     if len(points) > 1 and batching_enabled():
         try:
-            return execute_batch(points)
+            return execute_batch(points, jit=jit)
         except UnbatchableError:
             pass
-    return [execute_point(point) for point in points]
+    return [execute_point(point, jit=jit) for point in points]
 
 
 def _group_worker(payloads: list[dict]) -> list[dict]:
@@ -207,11 +217,19 @@ class Session:
             whole group) instead of looping ``Core.run``.  Results are
             bit-identical; only wall-clock differs.  Also disabled by
             ``REPRO_NO_BATCH=1``.
+        jit: allow the compiled timing-core fast path (numba kernels)
+            on points it can express; inexpressible points fall back to
+            the interpreted loop automatically.  Results are
+            bit-identical; only wall-clock differs.  ``False`` forces
+            the interpreted path; also disabled by ``REPRO_NO_JIT=1``
+            (the env var is what pool workers inherit -- in-process
+            execution additionally honors this flag).
     """
 
     def __init__(self, cache_dir: str | Path | None = None, *,
                  jobs: int = 1, salt: str | None = None,
-                 use_cache: bool = True, batch: bool = True) -> None:
+                 use_cache: bool = True, batch: bool = True,
+                 jit: bool = True) -> None:
         if os.environ.get("REPRO_NO_CACHE") == "1":
             use_cache = False
         self.cache = (ResultCache(cache_dir or _default_cache_dir())
@@ -219,9 +237,14 @@ class Session:
         self.salt = source_fingerprint() if salt is None else salt
         self.jobs = jobs
         self.batch = batch
+        self.jit = jit
         self.hits = 0
         self.misses = 0
         self._memo: dict[str, SimResult] = {}
+
+    def _jit_arg(self) -> bool | None:
+        """``jit`` forward for executors: defer when on, force off when off."""
+        return None if self.jit else False
 
     # --- cache plumbing ---------------------------------------------------
 
@@ -293,7 +316,7 @@ class Session:
             self.hits += 1
             return cached
         self.misses += 1
-        result = execute_point(point)
+        result = execute_point(point, jit=self._jit_arg())
         self.store(point, result)
         return result
 
@@ -378,7 +401,8 @@ class Session:
                    results: dict[PointSpec, SimResult]) -> None:
         """Execute one same-trace group in process, caching per point."""
         self.misses += len(group)
-        for point, result in zip(group, execute_group(group)):
+        for point, result in zip(group,
+                                 execute_group(group, jit=self._jit_arg())):
             self.store(point, result)
             results[point] = result
 

@@ -341,7 +341,7 @@ def test_batch_falls_back_per_point_when_unbatchable(tmp_path, monkeypatch):
     import repro.exp.engine as engine
     from repro.cpu.batch import UnbatchableError
 
-    def refuse(points):
+    def refuse(points, **kwargs):
         raise UnbatchableError("forced by test")
 
     monkeypatch.setattr(engine, "execute_batch", refuse)
