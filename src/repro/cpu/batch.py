@@ -77,6 +77,7 @@ from __future__ import annotations
 import gc
 import heapq
 from collections import deque
+from time import perf_counter as _perf_counter
 
 try:
     import numpy as _np
@@ -1033,8 +1034,16 @@ class BatchCore:
                     "try_issue")
         self.lanes = specs
 
-    def run(self, trace: Trace) -> list[SimResult]:
-        """Simulate every lane to completion; results in lane order."""
+    def run(self, trace: Trace,
+            phases: dict | None = None) -> list[SimResult]:
+        """Simulate every lane to completion; results in lane order.
+
+        ``phases``, when given, accumulates decode/step/writeback
+        wall-clock seconds across the whole group (shared decode plus
+        every lane), timed at decode-block granularity.  Jit-expressed
+        representatives contribute through :func:`run_lanes_jit`'s own
+        phase accounting into the same dict.
+        """
         lanes = self.lanes
         n = len(trace)
         operations = trace.operation_count()
@@ -1076,13 +1085,17 @@ class BatchCore:
                     stats = run_lanes_jit(
                         [lanes[i] for i in jit_reps], trace,
                         block=self.BLOCK, ring=self.RING,
-                        stream_threshold=self.STREAM_THRESHOLD)
+                        stream_threshold=self.STREAM_THRESHOLD,
+                        phases=phases)
                 except UnjittableError:
                     pass
                 else:
                     jit_stats = dict(zip(jit_reps, stats))
         py_reps = [i for i in reps if i not in jit_stats]
 
+        _t = _perf_counter()
+        _decode_t = 0.0
+        _step_t = 0.0
         # Same record-source policy as Core.run: cached records for the
         # grid-reuse regime, streamed chunks for frame-scale traces.
         if trace.records_cached() or n < self.STREAM_THRESHOLD:
@@ -1095,6 +1108,7 @@ class BatchCore:
         shared = _SharedDecode(n, next_record, dep_cap,
                                {st.ctl_key for st in states},
                                self.BLOCK, self.RING)
+        _decode_t += _perf_counter() - _t
 
         # Inter-block lane state of record: scheduler snapshots the
         # driver reads for the retention invariant and callers can
@@ -1162,7 +1176,10 @@ class BatchCore:
                             raise RuntimeError(
                                 "batch ring retention violated: lane "
                                 f"committed {cmin} < floor {floor}")
+                    _t = _perf_counter()
                     shared.decode_block()
+                    _decode_t += _perf_counter() - _t
+                _t = _perf_counter()
                 still = []
                 for gen in active:
                     try:
@@ -1171,10 +1188,12 @@ class BatchCore:
                     except StopIteration:
                         pass
                 active = still
+                _step_t += _perf_counter() - _t
         finally:
             if was_enabled:
                 gc.enable()
 
+        _t = _perf_counter()
         # Jit lanes never stepped through the snapshot syncs; record
         # their final state so self.state reads consistently.
         for i, s in jit_stats.items():
@@ -1204,6 +1223,11 @@ class BatchCore:
                     stats_of=lanes[rep], operations=operations)
                 result.meta["jit"] = False
             results.append(result)
+        if phases is not None:
+            phases["decode"] = phases.get("decode", 0.0) + _decode_t
+            phases["step"] = phases.get("step", 0.0) + _step_t
+            phases["writeback"] = (phases.get("writeback", 0.0)
+                                   + _perf_counter() - _t)
         return results
 
     @staticmethod

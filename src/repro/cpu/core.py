@@ -35,6 +35,7 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field, fields
+from time import perf_counter as _perf_counter
 
 from ..emulib.trace import DynInstr, TimingRecord, Trace, reg_pool
 from ..isa.model import InstrClass, RegPool
@@ -239,7 +240,8 @@ class Core:
 
     # --- public API --------------------------------------------------------------
 
-    def run(self, trace: Trace, *, jit: bool | None = None) -> SimResult:
+    def run(self, trace: Trace, *, jit: bool | None = None,
+            phases: dict | None = None) -> SimResult:
         """Simulate a full trace to completion and return statistics.
 
         Event-driven: per-producer wakeup lists re-examine only the
@@ -256,12 +258,19 @@ class Core:
                 ``REPRO_NO_JIT=1``.  Points the kernel cannot express
                 fall back to this interpreted loop automatically;
                 ``result.meta["jit"]`` records which path ran.
+            phases: optional dict the run *adds* decode/step/writeback
+                wall-clock seconds into.  Timed only at natural block
+                boundaries — record-source setup, the scheduler loop,
+                result assembly — so the guard costs a handful of
+                ``perf_counter`` calls per run, never one per record.
+                On the streaming record source decode interleaves with
+                stepping and is accounted under ``step``.
         """
         self._reset_frontend()
         from .jit import jit_enabled
         use_jit = jit_enabled() if jit is None else bool(jit)
         if use_jit:
-            result = self._run_jit(trace)
+            result = self._run_jit(trace, phases=phases)
             if result is not None:
                 return result
         cfg = self.config
@@ -274,10 +283,14 @@ class Core:
         # they stream TimingRecords chunk by chunk instead, keeping peak
         # memory at the columnar store plus one in-flight window (fetch
         # consumes records strictly in program order, exactly once).
+        _t = _perf_counter()
         if trace.records_cached() or n < self.STREAM_THRESHOLD:
             next_record = iter(trace.timing_records()).__next__
         else:
             next_record = trace.iter_timing_records().__next__
+        if phases is not None:
+            phases["decode"] = phases.get("decode", 0.0) + _perf_counter() - _t
+        _t = _perf_counter()
 
         rob: deque[_EventEntry] = deque()     # program order; head leftmost
         fetch_queue: deque[_EventEntry] = deque()
@@ -595,6 +608,9 @@ class Core:
                     rename_stalls += skipped
                 cycle = nxt - 1     # the loop header re-increments
 
+        if phases is not None:
+            phases["step"] = phases.get("step", 0.0) + _perf_counter() - _t
+        _t = _perf_counter()
         result = SimResult(
             cycles=cycle,
             instructions=n,
@@ -607,9 +623,13 @@ class Core:
             mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats") else {},
         )
         result.meta["jit"] = False
+        if phases is not None:
+            phases["writeback"] = (phases.get("writeback", 0.0)
+                                   + _perf_counter() - _t)
         return result
 
-    def _run_jit(self, trace: Trace) -> SimResult | None:
+    def _run_jit(self, trace: Trace,
+                 phases: dict | None = None) -> SimResult | None:
         """Attempt the compiled fast path; ``None`` means fall back.
 
         The jit kernel consumes the same shared-decode rings as
@@ -629,9 +649,14 @@ class Core:
                         zero_idiom_elision=bool(self.zero_idioms))
         if lane_unjittable_reason(spec) is not None:
             return None
+        # Phase timings go to a local dict first: an UnjittableError
+        # mid-run must not leave partial jit timings in the caller's
+        # view of the interpreted re-run.
+        jit_phases: dict | None = {} if phases is not None else None
         try:
             (stats,) = run_lanes_jit(
-                [spec], trace, stream_threshold=self.STREAM_THRESHOLD)
+                [spec], trace, stream_threshold=self.STREAM_THRESHOLD,
+                phases=jit_phases)
         except UnjittableError:
             return None
         ctl = stats["ctl"]
@@ -648,6 +673,9 @@ class Core:
             else {},
         )
         result.meta["jit"] = True
+        if phases is not None:
+            for key, dt in jit_phases.items():
+                phases[key] = phases.get(key, 0.0) + dt
         return result
 
     def run_reference(self, trace: Trace) -> SimResult:

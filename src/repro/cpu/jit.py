@@ -49,6 +49,7 @@ compiled kernel across processes.
 from __future__ import annotations
 
 import os
+import time as _time
 
 try:
     import numpy as _np
@@ -1053,13 +1054,19 @@ class _JitLane:
 
 def run_lanes_jit(specs, trace, *, block: int | None = None,
                   ring: int | None = None,
-                  stream_threshold: int | None = None) -> list:
+                  stream_threshold: int | None = None,
+                  phases: dict | None = None) -> list:
     """Run every lane through the kernel; one stats dict per lane.
 
     Same decode-block cadence, record-source policy and ring-retention
     invariant as :meth:`BatchCore.run`; raises :class:`UnjittableError`
     when any lane (or the trace) cannot be expressed, *before* any
     caller-visible state is mutated.
+
+    ``phases``, when given, accumulates decode/step/writeback wall-clock
+    seconds, timed once per decode block (65536 records by default) —
+    decode covers ring construction + ``decode_block``/``rings.sync``,
+    step the lane kernel calls, writeback the ``finish`` readback.
     """
     from .batch import BatchCore, _SharedDecode
 
@@ -1085,6 +1092,10 @@ def run_lanes_jit(specs, trace, *, block: int | None = None,
     else:
         next_record = trace.iter_timing_records().__next__
 
+    _pc = _time.perf_counter
+    _decode_t = 0.0
+    _step_t = 0.0
+    _t = _pc()
     warm()
     dep_cap = max(spec.config.rob_size for spec in specs)
     ctl_classes = {(spec.config.bimodal_entries, spec.config.btb_entries)
@@ -1092,6 +1103,7 @@ def run_lanes_jit(specs, trace, *, block: int | None = None,
     shared = _SharedDecode(n, next_record, dep_cap, ctl_classes, block, ring)
     rings = _Rings(shared, specs)
     lanes = [_JitLane(spec, i, shared.mask) for i, spec in enumerate(specs)]
+    _decode_t += _pc() - _t
 
     active = list(lanes)
     converted = 0
@@ -1108,9 +1120,12 @@ def run_lanes_jit(specs, trace, *, block: int | None = None,
                     raise RuntimeError(
                         "jit ring retention violated: lane committed "
                         f"{cmin} < floor {floor}")
+            _t = _pc()
             shared.decode_block()
             rings.sync(shared, converted, shared.avail)
             converted = shared.avail
+            _decode_t += _pc() - _t
+        _t = _pc()
         still = []
         for lane in active:
             status = lane.step(rings, n, shared.avail)
@@ -1130,10 +1145,17 @@ def run_lanes_jit(specs, trace, *, block: int | None = None,
                     f"(lane {lane.index}, cycle {int(regs[_R_CYCLE])}, "
                     f"{int(regs[_R_COMMITTED])}/{n})")
         active = still
+        _step_t += _pc() - _t
 
+    _t = _pc()
     stats = []
     for lane in lanes:
         s = lane.finish()
         s["ctl"] = shared.ctl[lane.ctl_key]
         stats.append(s)
+    if phases is not None:
+        phases["decode"] = phases.get("decode", 0.0) + _decode_t
+        phases["step"] = phases.get("step", 0.0) + _step_t
+        phases["writeback"] = (phases.get("writeback", 0.0)
+                               + _pc() - _t)
     return stats

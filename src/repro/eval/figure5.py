@@ -26,15 +26,17 @@ WAYS = (1, 2, 4, 8)
 
 
 def run(scale: int = 1, kernels=KERNEL_ORDER, quiet: bool = False,
-        session=None, jobs: int | None = None) -> dict:
+        session=None, jobs: int | None = None, progress=None) -> dict:
     """Compute the full Figure 5 grid; returns {kernel: [SpeedupPoint]}.
 
     The whole grid (all kernels, all baselines) resolves into one engine
     sweep, so ``jobs > 1`` parallelizes across every uncached point.
+    ``progress`` is forwarded to :meth:`Session.run` (called with the
+    count of newly resolved points).
     """
     session = session or default_session()
     sweep = preset("figure5").replace(targets=tuple(kernels), scale=scale)
-    results = session.run(sweep, jobs=jobs)
+    results = session.run(sweep, jobs=jobs, progress=progress)
     output = {}
     for kernel in kernels:
         baseline = results[PointSpec(kind="kernel", target=kernel,

@@ -82,11 +82,14 @@ def _print_panel(app: str, points: list[AppPoint]) -> None:
 
 
 def run(scale: int = 1, apps=APP_ORDER, quiet: bool = False,
-        session=None, jobs: int | None = None) -> dict:
-    """All panels through one engine sweep (parallel across every point)."""
+        session=None, jobs: int | None = None, progress=None) -> dict:
+    """All panels through one engine sweep (parallel across every point).
+
+    ``progress`` is forwarded to :meth:`Session.run`.
+    """
     session = session or default_session()
     sweep = preset("figure7").replace(targets=tuple(apps), scale=scale)
-    results = session.run(sweep, jobs=jobs)
+    results = session.run(sweep, jobs=jobs, progress=progress)
     output = {}
     for app in apps:
         output[app] = _panel(app, results, scale)

@@ -25,10 +25,20 @@ TMP_GRACE_SECONDS = 60.0
 
 
 class ResultCache:
-    """Directory-backed map from cache key to a JSON-safe record."""
+    """Directory-backed map from cache key to a JSON-safe record.
 
-    def __init__(self, directory: str | Path) -> None:
+    ``metrics``, when given, is a :class:`repro.obs.Registry` (or the
+    no-op null registry) the cache counts disk hits/misses/writes into
+    (``result_cache_disk_hits`` / ``_misses`` / ``_puts``) -- the
+    telemetry behind hit-rate readouts in ``repro stats``.
+    """
+
+    def __init__(self, directory: str | Path, *, metrics=None) -> None:
         self.directory = Path(directory)
+        if metrics is None:
+            from ..obs.metrics import NULL_REGISTRY
+            metrics = NULL_REGISTRY
+        self.metrics = metrics
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.json"
@@ -39,13 +49,17 @@ class ResultCache:
             with open(self._path(key), encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, ValueError):      # ValueError covers bad JSON/UTF-8
+            self.metrics.counter("result_cache_disk_misses").inc()
             return None
         if not isinstance(entry, dict) or entry.get("version") != ENTRY_VERSION:
+            self.metrics.counter("result_cache_disk_misses").inc()
             return None
+        self.metrics.counter("result_cache_disk_hits").inc()
         return entry
 
     def put(self, key: str, record: dict) -> None:
         """Atomically store one entry."""
+        self.metrics.counter("result_cache_disk_puts").inc()
         self.directory.mkdir(parents=True, exist_ok=True)
         entry = dict(record, version=ENTRY_VERSION)
         fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")

@@ -9,6 +9,7 @@ Examples::
     repro latency --way 4
     repro fetch-pressure
     repro sweep figure5 --jobs 8       # raw grid, parallel
+    repro sweep figure5 --progress     # live points/s + ETA line (TTY)
     repro sweep vc-kernels             # the compiler-built kernels
     repro sweep frame-scale            # one full 720x480 MPEG-2 frame
     repro sweep --kernels idct,motion2 --isas mom --ways 1,2,4,8
@@ -22,6 +23,9 @@ Examples::
     repro serve --workers 4            # boot the simulation service
     repro ping                         # handshake with a running server
     repro submit figure5               # run a sweep through the service
+    repro stats                        # live server telemetry snapshot
+    repro stats --prom                 # raw Prometheus text exposition
+    repro stats --trace spans.jsonl    # aggregate a local span trace
     repro shutdown                     # drain and stop the server
 
 Every simulation funnels through one :class:`~repro.exp.engine.Session`,
@@ -67,6 +71,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="use the compiled timing-core fast path when "
                              "numba is available (default: on; results are "
                              "bit-identical either way)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live done/total, points/s and ETA line on "
+                             "stderr (honoured only when stderr is a TTY)")
 
 
 def _session(args: argparse.Namespace) -> Session:
@@ -82,12 +89,37 @@ def _session(args: argparse.Namespace) -> Session:
                    batch=getattr(args, "batch", True), jit=jit)
 
 
+def _progress_line(args, total: int, session: Session | None = None):
+    """A live :class:`ProgressLine`, or ``None`` (no --progress / no TTY).
+
+    When the session's telemetry is enabled the line keeps its counters in
+    the session's own metrics registry, so ``progress_done`` shows up in
+    any trace/metrics snapshot taken alongside the sweep.
+    """
+    from ..obs.progress import ProgressLine, progress_wanted
+
+    if not progress_wanted(getattr(args, "progress", False)):
+        return None
+    registry = (session.obs.metrics
+                if session is not None and session.obs.enabled else None)
+    return ProgressLine(total, registry=registry)
+
+
 def _cmd_figure5(args) -> int:
     from ..eval import figure5
+    from ..kernels import KERNEL_ORDER
 
-    kernels = args.kernel or None
-    results = figure5.run(scale=args.scale, session=_session(args),
-                          **({"kernels": tuple(kernels)} if kernels else {}))
+    kernels = tuple(args.kernel) if args.kernel else KERNEL_ORDER
+    session = _session(args)
+    sweep = preset("figure5").replace(targets=kernels, scale=args.scale)
+    line = _progress_line(args, len(sweep.points()), session)
+    try:
+        results = figure5.run(scale=args.scale, kernels=kernels,
+                              session=session,
+                              progress=line.tick if line else None)
+    finally:
+        if line is not None:
+            line.close()
     print("\n=== MOM gain over best 1D SIMD ISA at 4-way ===")
     for kernel, ratio in figure5.mom_vs_best_simd(results).items():
         print(f"  {kernel:16s} {ratio:5.2f}x")
@@ -95,11 +127,19 @@ def _cmd_figure5(args) -> int:
 
 
 def _cmd_figure7(args) -> int:
+    from ..apps import APP_ORDER
     from ..eval import figure7
 
-    apps = args.app or None
-    results = figure7.run(scale=args.scale, session=_session(args),
-                          **({"apps": tuple(apps)} if apps else {}))
+    apps = tuple(args.app) if args.app else APP_ORDER
+    session = _session(args)
+    sweep = preset("figure7").replace(targets=apps, scale=args.scale)
+    line = _progress_line(args, len(sweep.points()), session)
+    try:
+        results = figure7.run(scale=args.scale, apps=apps, session=session,
+                              progress=line.tick if line else None)
+    finally:
+        if line is not None:
+            line.close()
     print("\n=== MOM (best cache) gain over MMX at 4-way "
           "(paper: ~20% average) ===")
     for app, ratio in figure7.summarize(results).items():
@@ -213,7 +253,13 @@ def _cmd_sweep(args) -> int:
     sweep = _sweep_from_args(args)
     points = sweep.points()
     print(f"sweep {sweep.name}: {len(points)} points, jobs={args.jobs}")
-    results = session.run(points, jobs=args.jobs)
+    line = _progress_line(args, len(points), session)
+    try:
+        results = session.run(points, jobs=args.jobs,
+                              progress=line.tick if line else None)
+    finally:
+        if line is not None:
+            line.close()
     _print_grid(points, results)
     print(f"\ncache: {session.hits} hits, {session.misses} misses")
     return 0
@@ -226,10 +272,11 @@ _BENCH_SUITES = {
     "core": ("test_core_speed.py",),
     "compile": ("test_compile_bench.py",),
     "serve": ("test_serve_load.py",),
+    "obs": ("test_obs_overhead.py",),
 }
 _BENCH_SUITES["all"] = tuple(f for files in
                              (_BENCH_SUITES[k] for k in
-                              ("batch", "core", "compile", "serve"))
+                              ("batch", "core", "compile", "serve", "obs"))
                              for f in files)
 
 
@@ -513,6 +560,88 @@ def _cmd_submit(args) -> int:
     return 1 if failures else 0
 
 
+def _trace_stats(path: str) -> int:
+    """Aggregate a local JSONL span trace (``REPRO_OBS_TRACE`` output)."""
+    from ..obs.sinks import read_jsonl
+
+    try:
+        records = [r for r in read_jsonl(path)
+                   if isinstance(r, dict) and "name" in r]
+    except OSError as exc:
+        print(f"repro stats: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"repro stats: no span records in {path}", file=sys.stderr)
+        return 1
+    by_name: dict[str, list] = {}
+    for rec in records:
+        entry = by_name.setdefault(rec["name"], [0, 0.0, 0.0])
+        dur = float(rec.get("dur", 0.0))
+        entry[0] += 1
+        entry[1] += dur
+        entry[2] = max(entry[2], dur)
+    traces = {rec.get("trace") for rec in records}
+    roots = sum(1 for rec in records if rec.get("parent") is None)
+    print(f"{path}: {len(records)} spans, {len(traces)} trace(s), "
+          f"{roots} root span(s)\n")
+    header = (f"{'span':24s} {'count':>7s} {'total s':>9s} "
+              f"{'mean ms':>9s} {'max ms':>9s}")
+    print(header)
+    print("-" * len(header))
+    for name, (count, total, peak) in sorted(by_name.items(),
+                                             key=lambda kv: -kv[1][1]):
+        print(f"{name:24s} {count:>7d} {total:>9.3f} "
+              f"{total / count * 1e3:>9.2f} {peak * 1e3:>9.2f}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Telemetry snapshot: a local span trace, or a live server's metrics."""
+    if args.trace:
+        return _trace_stats(args.trace)
+    from ..serve import Client, ServeError
+
+    try:
+        with Client(args.host, args.port, timeout=args.timeout) as client:
+            payload = client.metrics()
+    except (OSError, ServeError) as exc:
+        print(f"repro stats: {args.host}:{args.port}: {exc} "
+              f"(is a 1.6+ server running? or use --trace FILE)",
+              file=sys.stderr)
+        return 1
+    if args.prom:
+        print(payload["text"], end="")
+        return 0
+    stats, metrics = payload["stats"], payload["metrics"]
+    answered = stats.get("points", 0)
+    print(f"server {args.host}:{args.port}")
+    print(f"  points answered:  {answered} "
+          f"({stats.get('cache_hits', 0)} cache, "
+          f"{stats.get('dedup_hits', 0)} dedup, "
+          f"{stats.get('simulated', 0)} simulated)")
+    if answered:
+        print(f"  hit rates:        "
+              f"cache {stats.get('cache_hits', 0) / answered:.0%}, "
+              f"dedup {stats.get('dedup_hits', 0) / answered:.0%}")
+    print(f"  shard queues:     {stats.get('shard_queue_depths', [])} "
+          f"(inflight {stats.get('inflight', 0)})")
+    print(f"  workers:          {stats.get('workers_alive', 0)} alive, "
+          f"{stats.get('worker_deaths', 0)} death(s), "
+          f"{stats.get('worker_respawns', 0)} respawn(s), "
+          f"{stats.get('worker_failed_keys', 0)} failed key(s)")
+    latency = metrics.get("submit_answer_seconds")
+    if isinstance(latency, dict) and latency.get("count"):
+        print(f"  submit->answer:   "
+              f"p50 {latency['p50'] * 1e3:.1f} ms, "
+              f"p90 {latency['p90'] * 1e3:.1f} ms, "
+              f"p99 {latency['p99'] * 1e3:.1f} ms "
+              f"over {latency['count']} request(s)")
+    print(f"  jobs/connections: {stats.get('jobs', 0)} job(s), "
+          f"{stats.get('connections', 0)} connection(s), "
+          f"{stats.get('errors', 0)} error(s)")
+    return 0
+
+
 def _cmd_shutdown(args) -> int:
     from ..serve import Client, ServeError
 
@@ -659,6 +788,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_axes(p, scale=True)
     _add_endpoint(p)
     p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser("stats",
+                       help="render telemetry: live server metrics, or a "
+                            "local JSONL span trace")
+    _add_endpoint(p)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="aggregate a local REPRO_OBS_TRACE span file "
+                        "instead of querying a server")
+    p.add_argument("--prom", action="store_true",
+                   help="print the raw Prometheus text exposition")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("shutdown", help="drain and stop a running server")
     _add_endpoint(p)

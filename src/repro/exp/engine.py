@@ -24,6 +24,7 @@ from pathlib import Path
 
 from ..cpu import Core, SimResult, machine_config
 from ..emulib.fingerprint import source_fingerprint
+from ..obs import OBS_OFF, Obs, obs_from_env
 from .cache import ResultCache
 from .spec import PointSpec, SweepSpec
 
@@ -71,27 +72,50 @@ def make_memsys(point: PointSpec):
     return factory(point.way)
 
 
-def execute_point(point: PointSpec, *, jit: bool | None = None) -> SimResult:
+def _phase_meta(phases: dict) -> dict:
+    """Round a phase-accumulator dict for ``meta`` (stable, JSON-small)."""
+    return {key: round(value, 6) for key, value in phases.items()}
+
+
+def execute_point(point: PointSpec, *, jit: bool | None = None,
+                  obs: Obs | None = None, parent=None) -> SimResult:
     """Build, verify and simulate one point (no caching).
 
     The wall-clock cost of the cycle-level simulation itself is recorded
     in ``result.meta`` (``sim_seconds``, ``sim_instructions_per_second``)
-    so sweeps and the core-speed benchmark can track simulator throughput;
-    ``meta`` is excluded from result equality and digests.  ``jit``
-    forwards to :meth:`Core.run` (``None`` defers to availability and
-    ``REPRO_NO_JIT``); either path returns bit-identical results.
+    so sweeps and the core-speed benchmark can track simulator throughput,
+    and ``meta["phases"]`` breaks it into decode/step/writeback (see
+    :meth:`Core.run`); ``meta`` is excluded from result equality and
+    digests.  ``jit`` forwards to :meth:`Core.run` (``None`` defers to
+    availability and ``REPRO_NO_JIT``); either path returns bit-identical
+    results.  ``obs``/``parent`` attach trace.build and sim.point spans
+    under an existing handle when telemetry is enabled.
     """
+    obs = obs if obs is not None else OBS_OFF
+    tracer = obs.tracer
     build = built_kernel if point.kind == "kernel" else built_app
-    built = build(point.target, point.isa, point.scale)
+    with tracer.span("trace.build", parent=parent, target=point.target,
+                     isa=point.isa, scale=point.scale):
+        built = build(point.target, point.isa, point.scale)
     cfg = machine_config(point.way, point.isa)
     core = Core(cfg, make_memsys(point))
-    start = time.perf_counter()
-    result = core.run(built.trace, jit=jit)
-    elapsed = time.perf_counter() - start
+    phases: dict = {}
+    with tracer.span("sim.point", parent=parent, target=point.target,
+                     isa=point.isa, way=point.way,
+                     memory=point.memory) as span:
+        start_wall = time.time()
+        start = time.perf_counter()
+        result = core.run(built.trace, jit=jit, phases=phases)
+        elapsed = time.perf_counter() - start
     result.meta["sim_seconds"] = round(elapsed, 6)
     if elapsed > 0:
         result.meta["sim_instructions_per_second"] = round(
             result.instructions / elapsed)
+    result.meta["phases"] = _phase_meta(phases)
+    obs.phase_spans(span, start_wall, phases)
+    obs.metrics.counter("points_simulated").inc()
+    obs.metrics.counter("instructions_simulated").inc(result.instructions)
+    obs.metrics.histogram("sim_point_seconds").observe(elapsed)
     return result
 
 
@@ -107,7 +131,8 @@ def build_key(point: PointSpec) -> tuple[str, str, str, int]:
 
 
 def execute_batch(points: list[PointSpec],
-                  *, jit: bool | None = None) -> list[SimResult]:
+                  *, jit: bool | None = None,
+                  obs: Obs | None = None, parent=None) -> list[SimResult]:
     """Simulate same-trace points as one :class:`BatchCore` pass.
 
     All points must share a :func:`build_key` (one build, one trace, one
@@ -115,6 +140,12 @@ def execute_batch(points: list[PointSpec],
     :func:`execute_point` on that point.  Raises
     :class:`~repro.cpu.batch.UnbatchableError` when a lane cannot run
     through the batch engine -- callers fall back to per-point execution.
+
+    Per-lane ``meta["sim_seconds"]`` is an *equal share* of the group
+    pass, not a measurement -- ``meta["sim_seconds_estimated"]`` flags
+    it and ``meta["batch_group_seconds"]`` carries the measured
+    whole-pass wall-clock; ``meta["phases"]`` holds the group's shared
+    decode/step/writeback split.
     """
     from ..cpu.batch import BatchCore, LaneSpec, UnbatchableError
 
@@ -123,28 +154,47 @@ def execute_batch(points: list[PointSpec],
     keys = {build_key(p) for p in points}
     if len(keys) > 1:
         raise UnbatchableError(f"points span {len(keys)} traces")
+    obs = obs if obs is not None else OBS_OFF
+    tracer = obs.tracer
     first = points[0]
     build = built_kernel if first.kind == "kernel" else built_app
-    built = build(first.target, first.isa, first.scale)
+    with tracer.span("trace.build", parent=parent, target=first.target,
+                     isa=first.isa, scale=first.scale):
+        built = build(first.target, first.isa, first.scale)
     lanes = [LaneSpec(machine_config(p.way, p.isa), make_memsys(p))
              for p in points]
     core = BatchCore(lanes, jit=jit)   # validates lanes before simulation
     group = "-".join(str(k) for k in build_key(first))
-    start = time.perf_counter()
-    results = core.run(built.trace)
-    elapsed = time.perf_counter() - start
+    phases: dict = {}
+    with tracer.span("sim.group", parent=parent, group=group,
+                     lanes=len(points)) as span:
+        start_wall = time.time()
+        start = time.perf_counter()
+        results = core.run(built.trace, phases=phases)
+        elapsed = time.perf_counter() - start
     share = elapsed / len(points)
+    phase_meta = _phase_meta(phases)
     for result in results:
         # sim_seconds is this lane's amortized share of the batch pass,
         # keeping per-point throughput numbers comparable with the
-        # sequential path; the whole-pass cost rides along untouched.
+        # sequential path; sim_seconds_estimated marks it as a share
+        # rather than a measurement, and batch_group_seconds carries the
+        # measured whole-pass cost (batch_seconds is the historical
+        # alias, kept for existing readers).
         result.meta["sim_seconds"] = round(share, 6)
+        result.meta["sim_seconds_estimated"] = True
         if share > 0:
             result.meta["sim_instructions_per_second"] = round(
                 result.instructions / share)
         result.meta["batch_lanes"] = len(points)
         result.meta["batch_group"] = group
         result.meta["batch_seconds"] = round(elapsed, 6)
+        result.meta["batch_group_seconds"] = round(elapsed, 6)
+        result.meta["phases"] = dict(phase_meta)
+    obs.phase_spans(span, start_wall, phases)
+    obs.metrics.counter("points_simulated").inc(len(points))
+    obs.metrics.counter("batch_groups").inc()
+    obs.metrics.histogram("sim_group_seconds").observe(elapsed)
     return results
 
 
@@ -160,7 +210,8 @@ def jitting_enabled() -> bool:
 
 
 def execute_group(points: list[PointSpec],
-                  *, jit: bool | None = None) -> list[SimResult]:
+                  *, jit: bool | None = None,
+                  obs: Obs | None = None, parent=None) -> list[SimResult]:
     """Execute one same-trace group, batched when possible.
 
     Single-point groups and unbatchable lane sets take the plain
@@ -170,16 +221,37 @@ def execute_group(points: list[PointSpec],
 
     if len(points) > 1 and batching_enabled():
         try:
-            return execute_batch(points, jit=jit)
+            return execute_batch(points, jit=jit, obs=obs, parent=parent)
         except UnbatchableError:
             pass
-    return [execute_point(point, jit=jit) for point in points]
+    return [execute_point(point, jit=jit, obs=obs, parent=parent)
+            for point in points]
 
 
-def _group_worker(payloads: list[dict]) -> list[dict]:
-    """Process-pool entry: execute one same-trace group of points."""
-    points = [PointSpec.from_payload(p) for p in payloads]
-    return [result.to_dict() for result in execute_group(points)]
+def _group_worker(task) -> dict | list:
+    """Process-pool entry: execute one same-trace group of points.
+
+    ``task`` is either the historical plain list of point payloads
+    (returns a plain list of result dicts) or a dict::
+
+        {"points": [payload, ...], "span": (trace_id, span_id) | None}
+
+    returning ``{"results": [...], "spans": [...]}``.  When a parent
+    span handle is present the worker records its spans into a local
+    memory sink -- no globals, so pool reuse and fork/spawn start
+    methods are both safe -- and ships the finished records back for
+    the parent tracer to stitch (:meth:`~repro.obs.Tracer.adopt`).
+    """
+    if not isinstance(task, dict):
+        points = [PointSpec.from_payload(p) for p in task]
+        return [result.to_dict() for result in execute_group(points)]
+    points = [PointSpec.from_payload(p) for p in task["points"]]
+    parent = task.get("span")
+    obs = Obs.make(trace_id=parent[0]) if parent is not None else OBS_OFF
+    results = execute_group(points, obs=obs, parent=parent)
+    spans = obs.sink.drain() if parent is not None else []
+    return {"results": [result.to_dict() for result in results],
+            "spans": spans}
 
 
 def _default_cache_dir() -> Path:
@@ -224,15 +296,25 @@ class Session:
             the interpreted path; also disabled by ``REPRO_NO_JIT=1``
             (the env var is what pool workers inherit -- in-process
             execution additionally honors this flag).
+        obs: telemetry bundle (:class:`~repro.obs.Obs`).  Defaults to
+            :func:`~repro.obs.obs_from_env` -- disabled no-op singletons
+            unless ``REPRO_OBS=1`` / ``REPRO_OBS_TRACE=path`` is set.
+            When enabled, :meth:`run` emits a span tree
+            (``session.run`` → ``cache.lookup`` → ``trace.build`` →
+            ``sim.point``/``sim.group`` → ``cache.put``) stitched across
+            pool workers, and mirrors hit/miss/simulated counts into
+            ``obs.metrics``.
     """
 
     def __init__(self, cache_dir: str | Path | None = None, *,
                  jobs: int = 1, salt: str | None = None,
                  use_cache: bool = True, batch: bool = True,
-                 jit: bool = True) -> None:
+                 jit: bool = True, obs: Obs | None = None) -> None:
         if os.environ.get("REPRO_NO_CACHE") == "1":
             use_cache = False
-        self.cache = (ResultCache(cache_dir or _default_cache_dir())
+        self.obs = obs if obs is not None else obs_from_env()
+        self.cache = (ResultCache(cache_dir or _default_cache_dir(),
+                                  metrics=self.obs.metrics)
                       if use_cache else None)
         self.salt = source_fingerprint() if salt is None else salt
         self.jobs = jobs
@@ -314,9 +396,11 @@ class Session:
         cached = self.lookup(point)
         if cached is not None:
             self.hits += 1
+            self.obs.metrics.counter("session_cache_hits").inc()
             return cached
         self.misses += 1
-        result = execute_point(point, jit=self._jit_arg())
+        self.obs.metrics.counter("session_cache_misses").inc()
+        result = execute_point(point, jit=self._jit_arg(), obs=self.obs)
         self.store(point, result)
         return result
 
@@ -329,7 +413,8 @@ class Session:
         return tuple(sweep)
 
     def run(self, sweep, jobs: int | None = None, *,
-            batch: bool | None = None) -> dict[PointSpec, SimResult]:
+            batch: bool | None = None,
+            progress=None) -> dict[PointSpec, SimResult]:
         """Run a sweep; returns ``{point: result}`` in sweep order.
 
         Cache misses are grouped by :func:`build_key` -- points of one
@@ -340,71 +425,102 @@ class Session:
         ``jobs`` is 1, else on a process pool ``jobs`` wide.  Results
         are stored back to the persistent cache so a warm rerun performs
         no simulation at all.
+
+        ``progress``, when given, is called as ``progress(n)`` each time
+        ``n`` more distinct points have resolved (cache hits once up
+        front, then per completed group) -- the hook behind the CLI's
+        ``--progress`` line.
         """
         points = self.resolve(sweep)
         jobs = self.jobs if jobs is None else jobs
         batch = self.batch if batch is None else batch
-        results: dict[PointSpec, SimResult] = {}
-        missing: list[PointSpec] = []
-        for point in points:
-            if point in results or point in missing:
-                continue
-            cached = self.lookup(point)
-            if cached is not None:
-                self.hits += 1
-                results[point] = cached
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        root = tracer.span("session.run", points=len(points), jobs=jobs)
+        try:
+            results: dict[PointSpec, SimResult] = {}
+            missing: list[PointSpec] = []
+            with tracer.span("cache.lookup", parent=root) as scan:
+                for point in points:
+                    if point in results or point in missing:
+                        continue
+                    cached = self.lookup(point)
+                    if cached is not None:
+                        self.hits += 1
+                        results[point] = cached
+                    else:
+                        missing.append(point)
+                scan.set(hits=len(results), misses=len(missing))
+            metrics.counter("session_cache_hits").inc(len(results))
+            metrics.counter("session_cache_misses").inc(len(missing))
+            if progress is not None and results:
+                progress(len(results))
+
+            # Same-trace groups, in first-appearance order.  With batching
+            # off every point is its own group, which preserves the
+            # historical per-point dispatch exactly.
+            groups: list[list[PointSpec]] = []
+            if batch:
+                by_key: dict[tuple, list[PointSpec]] = {}
+                for point in missing:
+                    key = build_key(point)
+                    if key in by_key:
+                        by_key[key].append(point)
+                    else:
+                        by_key[key] = group = [point]
+                        groups.append(group)
             else:
-                missing.append(point)
+                groups = [[point] for point in missing]
 
-        # Same-trace groups, in first-appearance order.  With batching
-        # off every point is its own group, which preserves the
-        # historical per-point dispatch exactly.
-        groups: list[list[PointSpec]] = []
-        if batch:
-            by_key: dict[tuple, list[PointSpec]] = {}
-            for point in missing:
-                key = build_key(point)
-                if key in by_key:
-                    by_key[key].append(point)
-                else:
-                    by_key[key] = group = [point]
-                    groups.append(group)
-        else:
-            groups = [[point] for point in missing]
+            if missing and jobs > 1:
+                self.misses += len(missing)
+                # One task per same-trace group: the group's build (and its
+                # decode, when batched) happens once in one worker instead of
+                # every worker rebuilding every target.
+                # (With batching off, groups are singletons and the group
+                # worker degenerates to the historical per-point worker.)
+                # Workers get the root span's handle and ship their span
+                # records back with the results; the sink is local to each
+                # worker call, so this survives pool reuse and either
+                # start method.
+                handle = root.handle    # None when telemetry is disabled
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    tasks = [{"points": [p.payload() for p in group],
+                              "span": handle}
+                             for group in groups]
+                    for group, reply in zip(groups,
+                                            pool.map(_group_worker, tasks)):
+                        tracer.adopt(reply.get("spans"))
+                        with tracer.span("cache.put", parent=root,
+                                         points=len(group)):
+                            for point, data in zip(group, reply["results"]):
+                                result = SimResult.from_dict(data)
+                                self.store(point, result)
+                                results[point] = result
+                        if progress is not None:
+                            progress(len(group))
+            else:
+                for group in groups:
+                    self._run_group(group, results, parent=root)
+                    if progress is not None:
+                        progress(len(group))
 
-        if missing and jobs > 1:
-            self.misses += len(missing)
-            # One task per same-trace group: the group's build (and its
-            # decode, when batched) happens once in one worker instead of
-            # every worker rebuilding every target.
-            # (With batching off, groups are singletons and the group
-            # worker degenerates to the historical per-point worker.)
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                payloads = [[p.payload() for p in group]
-                            for group in groups]
-                for group, datas in zip(groups,
-                                        pool.map(_group_worker, payloads)):
-                    for point, data in zip(group, datas):
-                        result = SimResult.from_dict(data)
-                        self.store(point, result)
-                        results[point] = result
-        elif batch:
-            for group in groups:
-                self._run_group(group, results)
-        else:
-            for point in missing:
-                results[point] = self.run_point(point)
-
-        return {point: results[point] for point in points}
+            return {point: results[point] for point in points}
+        finally:
+            root.end()
 
     def _run_group(self, group: list[PointSpec],
-                   results: dict[PointSpec, SimResult]) -> None:
+                   results: dict[PointSpec, SimResult],
+                   parent=None) -> None:
         """Execute one same-trace group in process, caching per point."""
         self.misses += len(group)
-        for point, result in zip(group,
-                                 execute_group(group, jit=self._jit_arg())):
-            self.store(point, result)
-            results[point] = result
+        group_results = execute_group(group, jit=self._jit_arg(),
+                                      obs=self.obs, parent=parent)
+        with self.obs.tracer.span("cache.put", parent=parent,
+                                  points=len(group)):
+            for point, result in zip(group, group_results):
+                self.store(point, result)
+                results[point] = result
 
 
 _DEFAULT_SESSION: Session | None = None

@@ -1,0 +1,114 @@
+"""repro.obs — zero-dependency telemetry: metrics, spans, phase profiling.
+
+The single entry point is :class:`Obs`, a bundle of a metrics registry
+and a span tracer.  Disabled (the default) both are shared no-op
+singletons, so instrumented code costs an attribute lookup and a no-op
+call; the overhead guard in ``benchmarks/test_obs_overhead.py`` holds
+the enabled path under 3% on the golden mini-grid too.
+
+Enable per process via the environment:
+
+* ``REPRO_OBS=1`` — collect spans into an in-memory sink and count
+  metrics (programmatic access via ``session.obs``).
+* ``REPRO_OBS_TRACE=path.jsonl`` — additionally append every finished
+  span to a JSONL trace file (render with ``repro stats --trace``).
+
+or explicitly with ``Obs.make(sink=...)`` / ``Session(obs=...)``.
+
+Spans use explicit parent handles (``span.handle`` — a picklable
+``(trace_id, span_id)`` tuple) instead of ambient context, so the tree
+survives ``ProcessPoolExecutor`` workers, shard processes, and asyncio:
+workers record into a :class:`~repro.obs.sinks.MemorySink` and the
+parent stitches the shipped records with :meth:`Tracer.adopt`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    NULL_REGISTRY,
+    NullRegistry,
+    Registry,
+    render_prometheus,
+)
+from .progress import ProgressLine, progress_wanted
+from .sinks import JsonlSink, MemorySink, read_jsonl
+from .spans import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "NullRegistry",
+    "NullTracer",
+    "Obs",
+    "OBS_OFF",
+    "ProgressLine",
+    "Registry",
+    "Span",
+    "Tracer",
+    "obs_from_env",
+    "progress_wanted",
+    "read_jsonl",
+    "render_prometheus",
+]
+
+
+class Obs:
+    """Bundle of a metrics registry and a span tracer."""
+
+    __slots__ = ("enabled", "metrics", "tracer", "sink")
+
+    def __init__(self, metrics, tracer, sink=None, enabled=True):
+        self.metrics = metrics
+        self.tracer = tracer
+        self.sink = sink
+        self.enabled = enabled
+
+    @classmethod
+    def disabled(cls):
+        return OBS_OFF
+
+    @classmethod
+    def make(cls, sink=None, trace_id=None):
+        """An enabled Obs writing spans to ``sink`` (default: MemorySink)."""
+        sink = sink if sink is not None else MemorySink()
+        return cls(Registry(), Tracer(sink, trace_id=trace_id), sink=sink)
+
+    def phase_spans(self, parent, start, phases):
+        """Emit decode/step/writeback phase aggregates as child spans.
+
+        ``phases`` is the dict a timing core filled (see ``cpu/core.py``);
+        the spans are laid out back-to-back from ``start`` (wall clock) in
+        decode → step → writeback order.  They are aggregates, not exact
+        intervals — decode and step interleave on the streaming paths.
+        """
+        if not self.tracer.enabled or not phases:
+            return
+        t = start
+        for key in ("decode", "step", "writeback"):
+            dur = phases.get(key)
+            if dur is None:
+                continue
+            self.tracer.record(f"phase.{key}", t, dur, parent=parent)
+            t += dur
+
+
+OBS_OFF = Obs(NULL_REGISTRY, NULL_TRACER, sink=None, enabled=False)
+
+
+def obs_from_env(env=None):
+    """Build an Obs from the environment (see module docstring)."""
+    env = env if env is not None else os.environ
+    trace_path = env.get("REPRO_OBS_TRACE")
+    if trace_path:
+        return Obs.make(sink=JsonlSink(trace_path))
+    if env.get("REPRO_OBS") == "1":
+        return Obs.make()
+    return OBS_OFF

@@ -1,0 +1,291 @@
+"""Metrics registry: counters, gauges, and log-scale histograms.
+
+Zero-dependency.  The enabled path is plain python objects guarded by a
+single lock per registry; the disabled path (:class:`NullRegistry`) hands
+out one shared no-op metric object, so instrumented code pays exactly an
+attribute lookup plus a no-op call and allocates nothing.
+
+Histograms use fixed log-scale buckets: bucket ``i`` covers
+``[lo * growth**i, lo * growth**(i+1))`` with ``growth = 10**(1/bpd)``
+for ``bpd`` buckets per decade.  Percentile readouts walk the cumulative
+counts and report the geometric midpoint of the winning bucket, so the
+worst-case relative error is about ``growth**0.5 - 1`` (~7.5% at the
+default 16 buckets/decade) — plenty for latency telemetry, and cheap
+enough to observe from hot paths.
+
+Metric names may carry a literal Prometheus label suffix, e.g.
+``repro_shard_queue_depth{shard="0"}``; :func:`render_prometheus` splits
+the base name off for ``# TYPE`` lines.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullRegistry",
+    "Registry",
+    "render_prometheus",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1):
+        self.value += n
+
+    # Alias so counters and histograms can share call sites.
+    add = inc
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, n=1):
+        self.value += n
+
+    def dec(self, n=1):
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bucket log-scale histogram with percentile readouts."""
+
+    __slots__ = (
+        "name", "lo", "hi", "_log_growth", "_log_lo", "buckets",
+        "count", "total", "min", "max",
+    )
+
+    #: default buckets per decade; growth = 10**(1/16) ~ 1.155
+    BUCKETS_PER_DECADE = 16
+
+    def __init__(self, name, lo=1e-6, hi=1e4, buckets_per_decade=None):
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        bpd = buckets_per_decade or self.BUCKETS_PER_DECADE
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self._log_lo = math.log(lo)
+        self._log_growth = math.log(10.0) / bpd
+        n = int(math.ceil((math.log(hi) - self._log_lo) / self._log_growth))
+        # One underflow bucket below lo and one overflow bucket above hi.
+        self.buckets = [0] * (n + 2)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value):
+        if value <= self.lo:
+            idx = 0
+        else:
+            idx = 1 + int((math.log(value) - self._log_lo) / self._log_growth)
+            if idx >= len(self.buckets):
+                idx = len(self.buckets) - 1
+        self.buckets[idx] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def _bucket_mid(self, idx):
+        if idx <= 0:
+            return self.lo
+        lo_edge = math.exp(self._log_lo + (idx - 1) * self._log_growth)
+        return lo_edge * math.exp(self._log_growth * 0.5)
+
+    def percentile(self, q):
+        """Approximate q-th percentile (q in [0, 100]); None when empty."""
+        if not self.count:
+            return None
+        rank = q / 100.0 * self.count
+        seen = 0
+        for idx, n in enumerate(self.buckets):
+            seen += n
+            if seen >= rank and n:
+                mid = self._bucket_mid(idx)
+                # Clamp to observed extremes: exact for min/max-heavy
+                # distributions and never reports outside the data.
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def percentiles(self):
+        return {
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else None
+
+
+class _NullMetric:
+    """Shared no-op metric: every mutator is a pass-through."""
+
+    __slots__ = ()
+
+    def inc(self, n=1):
+        pass
+
+    def add(self, n=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def dec(self, n=1):
+        pass
+
+    def observe(self, value):
+        pass
+
+    value = 0
+    count = 0
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class Registry:
+    """Named metric store.  ``counter/gauge/histogram`` get-or-create."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}
+
+    def _get(self, name, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = factory(name)
+                    self._metrics[name] = metric
+        return metric
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name, lo=1e-6, hi=1e4, buckets_per_decade=None):
+        return self._get(
+            name,
+            lambda n: Histogram(n, lo=lo, hi=hi, buckets_per_decade=buckets_per_decade),
+        )
+
+    def snapshot(self):
+        """JSON-safe dump: counters/gauges as numbers, histograms expanded."""
+        out = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                out[metric.name] = {
+                    "count": metric.count,
+                    "sum": metric.total,
+                    "min": metric.min if metric.count else None,
+                    "max": metric.max if metric.count else None,
+                    "mean": metric.mean,
+                    **metric.percentiles(),
+                }
+            else:
+                out[metric.name] = metric.value
+        return out
+
+
+class NullRegistry:
+    """Disabled registry: every accessor returns the shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name):
+        return _NULL_METRIC
+
+    def gauge(self, name):
+        return _NULL_METRIC
+
+    def histogram(self, name, lo=1e-6, hi=1e4, buckets_per_decade=None):
+        return _NULL_METRIC
+
+    def snapshot(self):
+        return {}
+
+
+NULL_REGISTRY = NullRegistry()
+
+
+def _split_labels(name):
+    if "{" in name:
+        base, _, rest = name.partition("{")
+        return base, "{" + rest
+    return name, ""
+
+
+def _sanitize(name):
+    return "".join(c if (c.isalnum() or c == "_") else "_" for c in name)
+
+
+def render_prometheus(registry):
+    """Prometheus text exposition (version 0.0.4) of a Registry."""
+    if not getattr(registry, "enabled", False):
+        return ""
+    lines = []
+    typed = set()
+    with registry._lock:
+        metrics = sorted(registry._metrics.values(), key=lambda m: m.name)
+    for metric in metrics:
+        base, labels = _split_labels(metric.name)
+        base = _sanitize(base)
+        if isinstance(metric, Counter):
+            if base not in typed:
+                lines.append(f"# TYPE {base} counter")
+                typed.add(base)
+            lines.append(f"{base}{labels} {metric.value}")
+        elif isinstance(metric, Gauge):
+            if base not in typed:
+                lines.append(f"# TYPE {base} gauge")
+                typed.add(base)
+            lines.append(f"{base}{labels} {metric.value}")
+        elif isinstance(metric, Histogram):
+            if base not in typed:
+                lines.append(f"# TYPE {base} summary")
+                typed.add(base)
+            inner = labels[1:-1] if labels else ""
+            for q, key in ((0.5, "p50"), (0.9, "p90"), (0.99, "p99")):
+                val = metric.percentile(q * 100)
+                if val is None:
+                    continue
+                lbl = f'quantile="{q}"' + (f",{inner}" if inner else "")
+                lines.append(f"{base}{{{lbl}}} {val:.9g}")
+            lines.append(f"{base}_sum{labels} {metric.total:.9g}")
+            lines.append(f"{base}_count{labels} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

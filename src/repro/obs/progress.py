@@ -1,0 +1,94 @@
+"""TTY progress line driven by the metrics registry.
+
+``ProgressLine`` owns (or borrows) a :class:`~repro.obs.metrics.Registry`
+and keeps its state there — ``progress_done`` / ``progress_total``
+counters and gauge — so anything else holding the registry (a sweep
+command, a test) reads the same numbers the line renders.  Rendering is
+throttled and writes ``\\r``-terminated lines to stderr; call
+:meth:`close` to clear the line.  Use :func:`progress_wanted` to apply
+the "off when not a TTY" policy.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+
+from .metrics import Registry
+
+__all__ = ["ProgressLine", "progress_wanted"]
+
+
+def progress_wanted(flag, stream=None):
+    """--progress is honoured only when the stream is a real TTY."""
+    if not flag:
+        return False
+    stream = stream if stream is not None else sys.stderr
+    try:
+        return bool(stream.isatty())
+    except (AttributeError, ValueError):
+        return False
+
+
+class ProgressLine:
+    """Live ``done/total  rate pts/s  ETA`` line for long sweeps."""
+
+    #: minimum seconds between repaints
+    INTERVAL = 0.1
+    #: trailing window (seconds) for the rate estimate
+    WINDOW = 10.0
+
+    def __init__(self, total, registry=None, stream=None, label="points"):
+        self.registry = registry if registry is not None else Registry()
+        self.stream = stream if stream is not None else sys.stderr
+        self.label = label
+        self._done = self.registry.counter("progress_done")
+        self._total = self.registry.gauge("progress_total")
+        self._total.set(total)
+        self._t0 = time.perf_counter()
+        self._samples = deque([(self._t0, 0)])
+        self._last_paint = 0.0
+        self._painted = False
+
+    def tick(self, n=1):
+        self._done.inc(n)
+        now = time.perf_counter()
+        self._samples.append((now, self._done.value))
+        while len(self._samples) > 2 and now - self._samples[0][0] > self.WINDOW:
+            self._samples.popleft()
+        if now - self._last_paint >= self.INTERVAL or self._done.value >= self._total.value:
+            self._paint(now)
+
+    def rate(self):
+        (t0, d0), (t1, d1) = self._samples[0], self._samples[-1]
+        if t1 <= t0:
+            return 0.0
+        return (d1 - d0) / (t1 - t0)
+
+    def _paint(self, now):
+        done, total = self._done.value, self._total.value
+        rate = self.rate()
+        if rate > 0 and total > done:
+            eta = (total - done) / rate
+            eta_s = f"ETA {eta:5.0f}s" if eta < 600 else f"ETA {eta / 60:4.1f}m"
+        else:
+            eta_s = "ETA   --"
+        line = (f"\r{done}/{total} {self.label}  "
+                f"{rate:6.1f} {self.label}/s  {eta_s}")
+        try:
+            self.stream.write(line.ljust(44))
+            self.stream.flush()
+        except (OSError, ValueError):
+            return
+        self._last_paint = now
+        self._painted = True
+
+    def close(self):
+        if self._painted:
+            try:
+                self.stream.write("\r" + " " * 44 + "\r")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+            self._painted = False

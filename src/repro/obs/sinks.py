@@ -1,0 +1,74 @@
+"""Span sinks: in-memory for tests/shipping, JSONL for offline traces."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+__all__ = ["JsonlSink", "MemorySink", "read_jsonl"]
+
+
+class MemorySink:
+    """Collects span records in a list.  Thread-safe; used both for tests
+    and for worker-side tracers whose records are shipped to the parent."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.records = []
+
+    def emit(self, record):
+        with self._lock:
+            self.records.append(record)
+
+    def drain(self):
+        """Return and clear the collected records (for shipping)."""
+        with self._lock:
+            records = self.records
+            self.records = []
+        return records
+
+    def clear(self):
+        self.drain()
+
+
+class JsonlSink:
+    """Appends one JSON object per span record to a file.
+
+    The file is opened lazily in append mode and each record is written
+    as a single line + flush, so concurrent processes appending to the
+    same path interleave whole lines (POSIX O_APPEND semantics).
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = None
+
+    def emit(self, record):
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            if self._fh is None:
+                self._fh = open(self.path, "a", encoding="utf-8")
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self):
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+def read_jsonl(path):
+    """Load span records from a JSONL trace file, skipping torn lines."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+    return records

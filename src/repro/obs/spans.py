@@ -1,0 +1,184 @@
+"""Span tracing with explicit parent handles.
+
+No globals, no contextvars: a span's identity is the plain tuple
+``(trace_id, span_id)`` returned by :attr:`Span.handle`.  Handles are
+picklable and JSON-safe, so they cross ``ProcessPoolExecutor`` payloads
+and NDJSON requests unchanged; a worker builds its own :class:`Tracer`
+seeded with the parent handle's trace id, records spans into a memory
+sink, and ships the finished records back for the parent to
+:meth:`Tracer.adopt` — stitching one tree across processes without any
+ambient state.
+
+Span record schema (one dict per finished span)::
+
+    {"name": str, "trace": str, "span": str, "parent": str | None,
+     "start": float,   # wall clock (time.time), cross-process comparable
+     "dur": float,     # seconds, from a monotonic clock
+     "attrs": {...}}   # only present when non-empty
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import time
+
+__all__ = ["NULL_SPAN", "NullTracer", "Span", "Tracer"]
+
+
+def _new_trace_id():
+    return os.urandom(8).hex()
+
+
+class Span:
+    """A timed operation.  Use as a context manager or call :meth:`end`."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_id",
+                 "start", "attrs", "_t0", "_tracer", "_done")
+
+    def __init__(self, tracer, name, trace_id, span_id, parent_id, attrs):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.start = time.time()
+        self._t0 = time.perf_counter()
+        self._tracer = tracer
+        self._done = False
+
+    @property
+    def handle(self):
+        """Picklable (trace_id, span_id) pair for cross-process parenting."""
+        return (self.trace_id, self.span_id)
+
+    def set(self, **attrs):
+        """Attach attributes after creation (e.g. counts known at the end)."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self):
+        if self._done:
+            return
+        self._done = True
+        self._tracer._finish(self, time.perf_counter() - self._t0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+        return False
+
+
+class Tracer:
+    """Creates spans and forwards finished records to a sink."""
+
+    enabled = True
+
+    def __init__(self, sink, trace_id=None):
+        self.sink = sink
+        self.trace_id = trace_id or _new_trace_id()
+        # Prefix span ids with the pid so ids minted in forked workers
+        # can never collide with the parent's.
+        self._prefix = "%x-" % os.getpid()
+        self._ids = itertools.count(1)
+
+    def _next_id(self):
+        return self._prefix + format(next(self._ids), "x")
+
+    @staticmethod
+    def _parent_ids(parent, default_trace):
+        """Accept a Span, a (trace, span) handle (tuple or list), or None."""
+        if parent is None:
+            return default_trace, None
+        if isinstance(parent, Span):
+            return parent.trace_id, parent.span_id
+        if isinstance(parent, (tuple, list)) and len(parent) == 2:
+            return parent[0], parent[1]
+        raise TypeError(f"bad span parent: {parent!r}")
+
+    def span(self, name, parent=None, **attrs):
+        trace_id, parent_id = self._parent_ids(parent, self.trace_id)
+        return Span(self, name, trace_id, self._next_id(), parent_id, attrs)
+
+    def record(self, name, start, dur, parent=None, **attrs):
+        """Emit a span from explicit timings (phase aggregates, replays)."""
+        trace_id, parent_id = self._parent_ids(parent, self.trace_id)
+        rec = {
+            "name": name,
+            "trace": trace_id,
+            "span": self._next_id(),
+            "parent": parent_id,
+            "start": start,
+            "dur": dur,
+        }
+        if attrs:
+            rec["attrs"] = attrs
+        self.sink.emit(rec)
+        return rec
+
+    def adopt(self, records):
+        """Stitch finished span records shipped back from a worker."""
+        for rec in records or ():
+            self.sink.emit(rec)
+
+    def _finish(self, span, dur):
+        rec = {
+            "name": span.name,
+            "trace": span.trace_id,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "start": span.start,
+            "dur": dur,
+        }
+        if span.attrs:
+            rec["attrs"] = span.attrs
+        self.sink.emit(rec)
+
+
+class _NullSpan:
+    """Shared inert span: context manager and mutators are all no-ops."""
+
+    __slots__ = ()
+
+    handle = None
+    name = trace_id = span_id = parent_id = None
+    attrs = {}
+
+    def set(self, **attrs):
+        return self
+
+    def end(self):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Disabled tracer: hands out the shared inert span."""
+
+    enabled = False
+    trace_id = None
+    sink = None
+
+    def span(self, name, parent=None, **attrs):
+        return NULL_SPAN
+
+    def record(self, name, start, dur, parent=None, **attrs):
+        return None
+
+    def adopt(self, records):
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -113,6 +113,18 @@ class Client:
         self._send(protocol.request("stats"))
         return self._recv()["stats"]
 
+    def metrics(self) -> dict:
+        """Full metrics payload: ``{"text": <Prometheus exposition>,
+        "stats": {...}, "metrics": {<registry snapshot>}}``.
+
+        Raises :class:`ServeError` against pre-1.6 servers (they answer
+        the op with an unknown-op error)."""
+        self._send(protocol.request("metrics"))
+        reply = self._recv()
+        return {"text": reply.get("text", ""),
+                "stats": reply.get("stats", {}),
+                "metrics": reply.get("metrics", {})}
+
     def shutdown(self) -> None:
         """Ask the server to drain and exit."""
         self._send(protocol.request("shutdown"))
@@ -193,6 +205,14 @@ class AsyncClient:
     async def stats(self) -> dict:
         await self._send(protocol.request("stats"))
         return (await self._recv())["stats"]
+
+    async def metrics(self) -> dict:
+        """Async twin of :meth:`Client.metrics`."""
+        await self._send(protocol.request("metrics"))
+        reply = await self._recv()
+        return {"text": reply.get("text", ""),
+                "stats": reply.get("stats", {}),
+                "metrics": reply.get("metrics", {})}
 
     async def shutdown(self) -> None:
         await self._send(protocol.request("shutdown"))

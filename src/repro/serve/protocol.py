@@ -13,6 +13,7 @@ Requests (client -> server)::
     {"op": "submit", "protocol": 1, "id": "<job id>",
      "points": [<PointSpec payload>, ...]}
     {"op": "stats", "protocol": 1}
+    {"op": "metrics", "protocol": 1}
     {"op": "shutdown", "protocol": 1}
 
 Responses (server -> client), all carrying ``"ok"``::
@@ -25,8 +26,18 @@ Responses (server -> client), all carrying ``"ok"``::
     {"ok": true, "op": "done", "id": ..., "points": N,
      "cache_hits": ..., "dedup_hits": ..., "simulated": ...}
     {"ok": true, "op": "stats", "stats": {...}}
+    {"ok": true, "op": "metrics", "text": "<Prometheus exposition>",
+     "stats": {...}, "metrics": {<registry snapshot>}}
     {"ok": true, "op": "bye"}
     {"ok": false, "error": "...", ...}
+
+``metrics`` is additive (new in package 1.6): ``text`` is the
+Prometheus-style text exposition of the server's registry -- counters,
+gauges (per-shard queue depth, in-flight budget) and latency summaries
+(submit-to-answer p50/p90/p99) -- and ``metrics`` the same registry as
+a JSON snapshot.  An older server answers the op with a plain
+``"ok": false`` unknown-op error, so no protocol-version bump is
+needed.
 
 ``result`` messages stream back in *completion* order (``seq`` indexes
 into the submitted point list); ``done`` is always the last message of a

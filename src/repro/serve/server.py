@@ -33,7 +33,11 @@ outside has its outstanding points failed and its process respawned by
 the shard pool's watchdog (see :mod:`repro.serve.shard`), so the
 in-flight futures resolve, their backpressure slots release, and
 capacity recovers instead of shrinking for the life of the server.
-``stats`` still exposes ``workers_alive`` for monitoring.
+Worker churn is visible to clients: the ``stats``/``metrics`` snapshot
+carries ``workers_alive``, ``worker_deaths``, ``worker_respawns``,
+``worker_failed_keys`` and per-shard queue depths, and the ``metrics``
+op adds a Prometheus-style exposition with submit-to-answer latency
+percentiles (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -44,6 +48,8 @@ from .. import __version__
 from ..cpu import SimResult
 from ..exp.engine import Session
 from ..exp.spec import PointSpec
+from ..obs import Obs, Registry, obs_from_env, render_prometheus
+from ..obs.spans import NULL_TRACER
 from . import protocol
 from .shard import ShardPool, build_key
 
@@ -59,18 +65,33 @@ class SimServer:
         max_inflight: in-flight simulation budget (default ``8*workers``).
         allow_shutdown: honor the ``shutdown`` op (CLI/CI convenience);
             disable for servers that should only die by signal.
+        obs: telemetry bundle.  The server's *metrics* are always live
+            (a server exists to be watched; the ``metrics`` op and
+            ``repro stats`` read them), so when the environment doesn't
+            enable telemetry the default is a metrics-only bundle with
+            tracing off.  Span tracing (client request → shard dispatch
+            → worker sim → flush, worker spans stitched back) turns on
+            via ``REPRO_OBS_TRACE=path`` / ``REPRO_OBS=1`` or an
+            explicit ``obs``.
     """
 
     def __init__(self, host: str = protocol.DEFAULT_HOST,
                  port: int = protocol.DEFAULT_PORT, *,
                  workers: int = 2, cache_dir=None, use_cache: bool = True,
                  max_inflight: int | None = None,
-                 allow_shutdown: bool = True) -> None:
+                 allow_shutdown: bool = True,
+                 obs: Obs | None = None) -> None:
         self.host = host
         self.port = port
         self.workers = workers
         self.allow_shutdown = allow_shutdown
-        self.session = Session(cache_dir, use_cache=use_cache)
+        if obs is None:
+            obs = obs_from_env()
+            if not obs.enabled:
+                obs = Obs(Registry(), NULL_TRACER, enabled=True)
+        self.obs = obs
+        self.metrics = obs.metrics
+        self.session = Session(cache_dir, use_cache=use_cache, obs=obs)
         self.stats = {"connections": 0, "jobs": 0, "points": 0,
                       "cache_hits": 0, "dedup_hits": 0, "simulated": 0,
                       "errors": 0}
@@ -140,12 +161,17 @@ class SimServer:
     # --- worker plumbing --------------------------------------------------
 
     def _on_worker_result(self, key: str, result: dict | None,
-                          error: str | None) -> None:
+                          error: str | None, spans=None) -> None:
         """Collector-thread callback; bridge onto the event loop."""
-        self._loop.call_soon_threadsafe(self._complete, key, result, error)
+        self._loop.call_soon_threadsafe(self._complete, key, result, error,
+                                        spans)
 
     def _complete(self, key: str, result: dict | None,
-                  error: str | None) -> None:
+                  error: str | None, spans=None) -> None:
+        if spans:
+            # Worker span records ship on a task's last result; stitch
+            # them into the server's trace (same trace id by handle).
+            self.obs.tracer.adopt(spans)
         entry = self._inflight.pop(key, None)
         if entry is None:      # defensive: never let a callback raise and
             return             # strand waiters -- every key completes once
@@ -210,6 +236,18 @@ class SimServer:
             await self._send(writer, {"ok": True, "op": "stats",
                                       "stats": self._stat_snapshot()})
             return True
+        if op == "metrics":
+            # Additive op (see protocol docstring): Prometheus text plus
+            # a JSON snapshot of the same registry.  _sync_metrics runs
+            # inside the snapshot call; everything here is in-memory, so
+            # the event loop is never blocked by a metrics poll.
+            snapshot = self._stat_snapshot()
+            await self._send(writer, {
+                "ok": True, "op": "metrics",
+                "text": render_prometheus(self.metrics),
+                "stats": snapshot,
+                "metrics": self.metrics.snapshot()})
+            return True
         if op == "shutdown":
             if not self.allow_shutdown:
                 await self._send(writer, protocol.error_response(
@@ -252,6 +290,10 @@ class SimServer:
         self.stats["points"] += len(points)
         await self._send(writer, {"ok": True, "op": "accepted", "id": job,
                                   "points": len(points)})
+        accepted_at = self._loop.time()
+        tracer = self.obs.tracer
+        request_span = tracer.span("serve.request", id=str(job),
+                                   points=len(points))
 
         # Classify every point: served from cache, attached to an
         # in-flight duplicate, or owned (we will simulate it).  The whole
@@ -263,6 +305,7 @@ class SimServer:
         waiters: list[tuple[int, PointSpec, str, asyncio.Future]] = []
         batches: dict[tuple, list[tuple[str, dict]]] = {}
         slot_held = False
+        dispatch_span = tracer.span("serve.dispatch", parent=request_span)
         try:
             for seq, point in enumerate(points):
                 key = self.session.key_for(point)
@@ -292,7 +335,7 @@ class SimServer:
                     # waking (classification and registration must be atomic,
                     # i.e. no await between them) instead of double-booking.
                     if self._slots.locked():
-                        self._flush(batches)
+                        self._flush(batches, span=dispatch_span)
                     await self._slots.acquire()
                     slot_held = True
                     if (key in self._inflight
@@ -319,19 +362,26 @@ class SimServer:
             # slot acquired but not yet registered, and fail the job.
             if slot_held:
                 self._slots.release()
-            self._flush(batches)
+            self._flush(batches, span=dispatch_span)
+            dispatch_span.end()
             self.stats["errors"] += 1
+            request_span.set(error="classification").end()
             await self._send(writer, protocol.error_response(
                 f"submit failed mid-classification: {exc}", id=job))
             return
 
-        self._flush(batches)
+        self._flush(batches, span=dispatch_span)
+        dispatch_span.set(**counts).end()
+
+        latency = self.metrics.histogram("submit_answer_seconds")
 
         async def deliver(seq, point, source, future):
             result, error = await asyncio.shield(future)
             return seq, point, source, result, error
 
         tasks = [asyncio.ensure_future(deliver(*w)) for w in waiters]
+        flush_span = tracer.span("serve.flush", parent=request_span,
+                                 points=len(waiters))
         try:
             for task in asyncio.as_completed(tasks):
                 seq, point, source, result, error = await task
@@ -343,9 +393,14 @@ class SimServer:
                 else:
                     response["error"] = error
                 await self._send(writer, response)
+                # Submit-to-answer latency: from job acceptance to this
+                # point's result hitting the client's socket buffer.
+                latency.observe(self._loop.time() - accepted_at)
         finally:
             for task in tasks:
                 task.cancel()
+            flush_span.end()
+            request_span.end()
         await self._send(writer, {
             "ok": True, "op": "done", "id": job, "points": len(points),
             "cache_hits": counts["cache"], "dedup_hits": counts["dedup"],
@@ -353,17 +408,22 @@ class SimServer:
 
     # --- helpers ----------------------------------------------------------
 
-    def _flush(self, batches: dict[tuple, list[tuple[str, dict]]]) -> None:
+    def _flush(self, batches: dict[tuple, list[tuple[str, dict]]],
+               span=None) -> None:
         """Queue the collected same-build batches (one hop each) and reset.
+
+        ``span`` (when tracing) parents the worker-side ``worker.sim``
+        spans, which ship back on each task's last result.
 
         A batch the pool refuses (closed mid-drain, dead queue) is
         completed as an error immediately: its keys are registered in
         ``_inflight`` holding backpressure slots, so dropping the batch
         on the floor would leak both and hang every waiter.
         """
+        handle = span.handle if span is not None else None
         for batch in batches.values():
             try:
-                self._pool.submit(batch)
+                self._pool.submit(batch, span=handle)
             except Exception as exc:
                 detail = f"worker pool rejected batch: {exc}"
                 for key, _payload in batch:
@@ -381,10 +441,40 @@ class SimServer:
         # long-lived shared cache can hold many thousands of entries.
         entries = (sum(1 for _ in cache.directory.glob("*.json"))
                    if cache is not None and cache.directory.is_dir() else 0)
-        return dict(self.stats, inflight=len(self._inflight),
-                    draining=self._draining,
-                    workers_alive=self._pool.alive() if self._pool else 0,
-                    cache_entries=entries)
+        pool = self._pool
+        depths = pool.queue_depths() if pool else []
+        snapshot = dict(self.stats, inflight=len(self._inflight),
+                        draining=self._draining,
+                        workers_alive=pool.alive() if pool else 0,
+                        worker_deaths=pool.deaths if pool else 0,
+                        worker_respawns=pool.restarts if pool else 0,
+                        worker_failed_keys=pool.failed_keys if pool else 0,
+                        shard_queue_depths=depths,
+                        cache_entries=entries)
+        self._sync_metrics(snapshot)
+        return snapshot
+
+    def _sync_metrics(self, snapshot: dict) -> None:
+        """Mirror the stats snapshot into the registry as gauges.
+
+        Synced whenever a snapshot is taken (``ping``/``stats``/
+        ``metrics`` ops) rather than at every increment, so the hot
+        submit path pays nothing for the mirror; counters that must be
+        live continuously (latency histograms, cache counters) are
+        observed at their sources instead.
+        """
+        metrics = self.metrics
+        for key, value in snapshot.items():
+            if key == "shard_queue_depths":
+                for shard, depth in enumerate(value):
+                    metrics.gauge(
+                        f'server_shard_queue_depth{{shard="{shard}"}}'
+                    ).set(depth)
+            elif isinstance(value, bool):
+                metrics.gauge(f"server_{key}").set(int(value))
+            elif isinstance(value, (int, float)):
+                metrics.gauge(f"server_{key}").set(value)
+        metrics.gauge("server_max_inflight").set(self._max_inflight)
 
 
 async def run_server(server: SimServer, ready=None) -> None:

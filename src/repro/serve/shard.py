@@ -64,11 +64,20 @@ def shard_index(key: tuple, shards: int) -> int:
 
 
 def _shard_worker(task_queue, result_queue) -> None:
-    """Worker-process main loop: execute point batches, stream results."""
+    """Worker-process main loop: execute point batches, stream results.
+
+    A task is either a plain ``[(key, payload), ...]`` batch or a
+    ``(batch, span_handle)`` pair: with a handle the worker records a
+    ``worker.sim`` span (plus the engine's build/sim/phase spans) under
+    it into a local memory sink and ships the finished records on the
+    *last* result item of the task -- a 4-tuple ``(key, result, error,
+    spans)`` -- for the server's tracer to stitch.
+    """
     import signal
 
     from ..exp.engine import batching_enabled, execute_batch, execute_point
     from ..exp.spec import PointSpec
+    from ..obs import OBS_OFF, Obs
 
     # Ctrl-C on `repro serve` delivers SIGINT to the whole foreground
     # process group; the server's own handler drives the graceful drain,
@@ -80,28 +89,49 @@ def _shard_worker(task_queue, result_queue) -> None:
         task = task_queue.get()
         if task is _STOP:
             break
+        if isinstance(task, tuple):
+            batch, parent = task
+        else:
+            batch, parent = task, None
+        obs = Obs.make(trace_id=parent[0]) if parent is not None else OBS_OFF
+        span = obs.tracer.span("worker.sim", parent=parent,
+                               points=len(batch))
+        remaining = len(batch)
+
+        def report(key, result, error):
+            """Queue one result; the task's last one carries the spans."""
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0 and parent is not None:
+                span.end()
+                result_queue.put((key, result, error, obs.sink.drain()))
+            else:
+                result_queue.put((key, result, error))
+
         # Batches are same-build by construction (submit() asserts it),
         # so a multi-point task is exactly a BatchCore lane group: one
         # decode pass for the whole batch instead of a Core.run loop.
         # Any failure -- an unbatchable lane, a model error -- falls back
         # to the per-point path, which reports errors point by point.
-        if len(task) > 1 and batching_enabled():
+        if len(batch) > 1 and batching_enabled():
             try:
-                points = [PointSpec.from_payload(p) for _, p in task]
-                results = execute_batch(points)
-                for (key, _payload), result in zip(task, results):
-                    result_queue.put((key, result.to_dict(), None))
-                continue
+                points = [PointSpec.from_payload(p) for _, p in batch]
+                results = execute_batch(points, obs=obs, parent=span)
             except BaseException:
                 pass           # diagnose per point below
-        for key, payload in task:
+            else:
+                for (key, _payload), result in zip(batch, results):
+                    report(key, result.to_dict(), None)
+                continue
+        for key, payload in batch:
             try:
-                result = execute_point(PointSpec.from_payload(payload))
-                result_queue.put((key, result.to_dict(), None))
+                result = execute_point(PointSpec.from_payload(payload),
+                                       obs=obs, parent=span)
+                report(key, result.to_dict(), None)
             except BaseException as exc:   # report, never kill the shard
                 detail = "".join(
                     traceback.format_exception_only(type(exc), exc)).strip()
-                result_queue.put((key, None, detail))
+                report(key, None, detail)
 
 
 class ShardPool:
@@ -112,7 +142,18 @@ class ShardPool:
         on_result: called as ``on_result(key, result_dict, error)`` from
             the collector thread for every finished point, and from the
             watchdog thread for points failed by a worker death.  Exactly
-            one of ``result_dict`` / ``error`` is non-``None``.
+            one of ``result_dict`` / ``error`` is non-``None``.  When a
+            task was submitted with a span handle, the task's last
+            result arrives as ``on_result(key, result_dict, error,
+            spans)`` carrying the worker's finished span records --
+            callbacks that never pass ``span=`` to :meth:`submit` keep
+            the 3-argument form.
+
+    Observability counters (all exposed through the server's ``stats``/
+    ``metrics`` snapshot): :attr:`deaths` worker processes found dead,
+    :attr:`restarts` respawns performed, :attr:`failed_keys` points
+    failed because their worker died; :meth:`queue_depths` reports the
+    submitted-but-unreported key count per shard.
     """
 
     #: Seconds between worker-liveness checks.
@@ -131,6 +172,8 @@ class ShardPool:
             raise ValueError("need at least one worker")
         self.workers = workers
         self.restarts = 0
+        self.deaths = 0
+        self.failed_keys = 0
         self._on_result = on_result
         self._ctx = ctx = multiprocessing.get_context()
         self._results = ctx.SimpleQueue()
@@ -163,10 +206,16 @@ class ShardPool:
     def shard_for(self, payload: dict) -> int:
         return shard_index(build_key(payload), self.workers)
 
-    def submit(self, batch: list[tuple[str, dict]]) -> int:
+    def submit(self, batch: list[tuple[str, dict]], *,
+               span=None) -> int:
         """Queue one same-build batch of ``(key, payload)``; returns the
         shard it was routed to.  Callers group by :func:`build_key` --
         the pool routes by the first element and asserts homogeneity.
+
+        ``span`` is an optional parent span handle (a picklable
+        ``(trace_id, span_id)`` tuple); the worker then traces its
+        execution under it and ships the records back on the task's
+        last result (see ``on_result``).
         """
         if self._closed:
             raise RuntimeError("pool is closed")
@@ -174,6 +223,7 @@ class ShardPool:
         if len(keys) != 1:
             raise ValueError(f"batch mixes builds: {sorted(keys)}")
         shard = shard_index(next(iter(keys)), self.workers)
+        task = batch if span is None else (batch, tuple(span))
         # The put happens under the lock so it is atomic with the
         # watchdog's queue replacement: a batch must never land on a
         # queue whose (dead) reader has just been swapped out, or its
@@ -181,7 +231,7 @@ class ShardPool:
         with self._lock:
             for key, _payload in batch:
                 self._pending[key] = shard
-            self._tasks[shard].put(batch)
+            self._tasks[shard].put(task)
         return shard
 
     # --- lifecycle --------------------------------------------------------
@@ -193,6 +243,10 @@ class ShardPool:
                 break
             with self._lock:
                 self._pending.pop(item[0], None)
+            # Items are (key, result, error) or, for a task's last
+            # result when it was submitted with a span handle,
+            # (key, result, error, spans) -- forwarded verbatim, so
+            # 3-argument callbacks only ever see 3-argument calls.
             self._on_result(*item)
 
     def _watch(self) -> None:
@@ -205,6 +259,7 @@ class ShardPool:
                 if proc is not None and proc.is_alive():
                     continue
                 if proc is not None:
+                    self.deaths += 1
                     # Just died.  Fail its outstanding keys right away
                     # (waiters must not wait out the backoff) and decide
                     # when the shard may respawn: a worker that died
@@ -236,6 +291,7 @@ class ShardPool:
                         self._respawn_at[shard] = now + self._backoff[shard]
                     detail = (f"worker shard-{shard} died "
                               f"(exit code {proc.exitcode}); restarting")
+                    self.failed_keys += len(dead)
                     for key in dead:
                         self._on_result(key, None, detail)
                 if (self._procs[shard] is None
@@ -249,6 +305,14 @@ class ShardPool:
         """How many worker processes are currently alive."""
         return sum(proc is not None and proc.is_alive()
                    for proc in self._procs)
+
+    def queue_depths(self) -> list[int]:
+        """Submitted-but-unreported key count per shard (queue depth)."""
+        depths = [0] * self.workers
+        with self._lock:
+            for shard in self._pending.values():
+                depths[shard] += 1
+        return depths
 
     def close(self, timeout: float = 30.0) -> None:
         """Stop workers after their queued tasks finish and join them."""
