@@ -88,7 +88,8 @@ from ..emulib.trace import TimingRecord, Trace
 from ..isa.model import InstrClass, RegPool
 from ..memsys.perfect import PerfectMemory
 from .config import MachineConfig
-from .core import Core, SimResult, _FAR_FUTURE, _NO_EVENT
+from .core import (Core, SimResult, TimingStats, checked_stack,
+                   _FAR_FUTURE, _NO_EVENT)
 from .funit import _NON_PIPELINED
 
 #: compute InstrClass -> (family index, needs complex unit);
@@ -135,16 +136,18 @@ class LaneSpec:
     """
 
     __slots__ = ("config", "memsys", "acc_chaining", "late_release",
-                 "zero_idiom_elision")
+                 "zero_idiom_elision", "accounting")
 
     def __init__(self, config: MachineConfig, memsys, *,
                  acc_chaining: bool = True, late_release: bool = True,
-                 zero_idiom_elision: bool = True) -> None:
+                 zero_idiom_elision: bool = True,
+                 accounting: bool = False) -> None:
         self.config = config
         self.memsys = memsys
         self.acc_chaining = acc_chaining
         self.late_release = late_release
         self.zero_idiom_elision = zero_idiom_elision
+        self.accounting = accounting
 
     def dedup_key(self):
         """Lanes with equal keys are provably identical simulations.
@@ -157,8 +160,8 @@ class LaneSpec:
         if type(ms) is not PerfectMemory:
             return None
         return (self.config, self.acc_chaining, self.late_release,
-                self.zero_idiom_elision, ms.latency, ms.portset.ports,
-                ms.portset.port_width)
+                self.zero_idiom_elision, self.accounting, ms.latency,
+                ms.portset.ports, ms.portset.port_width)
 
 
 class _CtlState:
@@ -483,8 +486,8 @@ class _LaneState:
                  "late_release", "zero_elision", "window",
                  "fu_busy", "fu_of", "scan", "lanes_of",
                  "fu_simple", "fu_total",
-                 "pm", "mem_try", "mem_hint", "ctl_key",
-                 "cycles", "fetch_stalls", "rename_stalls", "sync")
+                 "pm", "mem_try", "mem_hint", "ctl_key", "accounting",
+                 "cycles", "fetch_stalls", "rename_stalls", "stack", "sync")
 
     def __init__(self, spec: LaneSpec, index: int) -> None:
         cfg = spec.config
@@ -527,9 +530,11 @@ class _LaneState:
         self.mem_try = ms.try_issue
         self.mem_hint = getattr(ms, "earliest_issue", None)
         self.ctl_key = (cfg.bimodal_entries, cfg.btb_entries)
+        self.accounting = spec.accounting
         self.cycles = 0
         self.fetch_stalls = 0
         self.rename_stalls = 0
+        self.stack = None         # CPI-stack dict when accounting is on
         self.sync = None          # bound by BatchCore.run
 
 
@@ -643,6 +648,13 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
     next_fetch_cycle = 0
     fetch_stalls = 0
     rename_stalls = 0
+    # CPI-stack accumulators; cbase/disp_before feed the classifier's
+    # commits-this-cycle and head-age tests (same rules as Core.run).
+    accounting = ls.accounting
+    st_base = st_fetch = st_rename = st_fu = 0
+    st_memc = st_meml = st_drain = 0
+    pm_acct_n = 0
+    pm_acct_occ = 0
     avail = shared.avail
     #: pause guard: fetch may proceed while ``fetch_idx <= aw``; decode
     #: appends to ``pos_idx`` only while this lane is paused, so its
@@ -666,6 +678,7 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
             D += heappop(releases) & _M80
 
         # --- commit ---------------------------------------------------------
+        cbase = committed
         lim = committed + width
         if disp_idx < lim:
             lim = disp_idx
@@ -675,6 +688,11 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
             D += g_commit[committed & gmask]
             committed += 1
         if committed >= n:
+            if accounting:
+                if committed - cbase == width:
+                    st_base += 1
+                else:
+                    st_drain += 1
             break
 
         # --- wake -----------------------------------------------------------
@@ -749,6 +767,8 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
                                 pm_vector += 1
                                 pm_elem += vl
                                 completion = cycle + occ - 1 + pm_lat
+                                pm_acct_n += 1
+                                pm_acct_occ += completion - cycle
                         else:
                             for p in range(pm_ports):
                                 if pm_busy[p] <= cycle:
@@ -756,6 +776,8 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
                                     pm_scalar += 1
                                     pm_elem += 1
                                     completion = cycle + pm_lat
+                                    pm_acct_n += 1
+                                    pm_acct_occ += pm_lat
                                     break
                     else:
                         completion = mem_try(minstr, cycle)
@@ -830,6 +852,8 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
         # --- dispatch: fetch queue -> ROB (rename + allocate) ---------------
         # The three bounds (fetch frontier, dispatch width, ROB room) are
         # all fixed for the duration of the phase, so fold them into one.
+        disp_before = disp_idx
+        admission_blocked = False
         dlim = disp_idx + width
         if fetch_idx < dlim:
             dlim = fetch_idx
@@ -850,6 +874,7 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
                     # Admission failed: LSQ-full breaks silently (a
                     # commit will free it); a register shortfall is a
                     # rename stall, exactly Core's check order.
+                    admission_blocked = True
                     if (g_ismem[gs]
                             and ((D >> _LSQ_SHIFT) & 0xffff) <= _BIAS):
                         break
@@ -913,6 +938,38 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
         elif fetch_idx < n:
             fetch_stalls += 1
 
+        # --- account: same end-of-cycle classification as Core.run ----------
+        # Head index is `committed`; dispatched-this-cycle is
+        # `committed >= disp_before` (the dispatch_cycle test without a
+        # per-entry field).
+        if accounting:
+            if committed - cbase == width:
+                st_base += 1
+            elif committed < disp_idx:
+                hc = e_completion[committed & wmask]
+                if hc != _UNISSUED:
+                    if g_ismem[committed & gmask] and hc > next_cycle:
+                        st_meml += 1
+                    elif admission_blocked:
+                        st_rename += 1
+                    else:
+                        st_base += 1
+                elif committed < disp_before:
+                    if g_ismem[committed & gmask]:
+                        st_memc += 1
+                    elif admission_blocked:
+                        st_rename += 1
+                    else:
+                        st_fu += 1
+                elif admission_blocked:
+                    st_rename += 1
+                else:
+                    st_base += 1
+            elif fetch_idx >= n:
+                st_drain += 1
+            else:
+                st_fetch += 1
+
         # --- horizon: first future cycle at which anything can happen -------
         if issuable or wakeups_next:
             continue
@@ -932,6 +989,7 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
             if ready < nxt:
                 nxt = ready
         rename_blocked = False
+        lsq_blocked = False
         if disp_idx < fetch_idx and disp_idx - committed < rob_size:
             if disp_idx >= burst_end:
                 v = bq_popleft()
@@ -946,7 +1004,8 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
                 if sm and ((D - g_chk[gs]) & sm) != sm:
                     if (g_ismem[gs]
                             and ((D >> _LSQ_SHIFT) & 0xffff) <= _BIAS):
-                        pass    # a commit frees the LSQ; commits are events
+                        # A commit frees the LSQ; commits are events.
+                        lsq_blocked = True
                     else:
                         rename_blocked = True
                         if releases:
@@ -972,15 +1031,52 @@ def _lane_stepper(ls: _LaneState, shared: _SharedDecode):
                 fetch_stalls += stop - next_cycle
             if rename_blocked:
                 rename_stalls += skipped
+            if accounting:
+                # Frozen-state span replay of the per-cycle rules; the
+                # only in-span transition is the head's memory completion
+                # landing exactly on `nxt` (see Core.run).
+                adm = rename_blocked or lsq_blocked
+                if committed < disp_idx:
+                    hc = e_completion[committed & wmask]
+                    if hc != _UNISSUED:
+                        if g_ismem[committed & gmask]:
+                            st_meml += skipped
+                            if hc == nxt:
+                                st_meml -= 1
+                                if adm:
+                                    st_rename += 1
+                                else:
+                                    st_base += 1
+                        elif adm:
+                            st_rename += skipped
+                        else:
+                            st_base += skipped
+                    elif g_ismem[committed & gmask]:
+                        st_memc += skipped
+                    elif adm:
+                        st_rename += skipped
+                    else:
+                        st_fu += skipped
+                elif fetch_idx >= n:
+                    st_drain += skipped
+                else:
+                    st_fetch += skipped
             cycle = nxt - 1     # the loop header re-increments
 
     ls.cycles = cycle
     ls.fetch_stalls = fetch_stalls
     ls.rename_stalls = rename_stalls
+    if accounting:
+        ls.stack = {
+            "base": st_base, "fetch": st_fetch, "rename": st_rename,
+            "fu_structural": st_fu, "mem_conflict": st_memc,
+            "mem_latency": st_meml, "drain": st_drain}
     if pm is not None:
         portset.scalar_accesses = pm_scalar
         portset.vector_accesses = pm_vector
         portset.element_accesses = pm_elem
+        pm.acct_accesses += pm_acct_n
+        pm.acct_occupancy += pm_acct_occ
     sync(cycle, committed, disp_idx, fetch_idx,
          fetch_stalls, rename_stalls, D, fu_busy)
 
@@ -1064,8 +1160,12 @@ class BatchCore:
         reps = [i for i in range(len(lanes)) if share[i] == i]
 
         if n == 0:
-            results = [self._result(lane, 0, 0, 0, None, 0,
-                                    operations=operations) for lane in lanes]
+            empty = {name: 0 for name in ("base", "fetch", "rename",
+                                          "fu_structural", "mem_conflict",
+                                          "mem_latency", "drain")}
+            results = [self._result(
+                lane, 0, 0, 0, None, 0, operations=operations,
+                stack=empty if lane.accounting else None) for lane in lanes]
             for result in results:
                 result.meta["jit"] = False
             return results
@@ -1212,7 +1312,8 @@ class BatchCore:
                 result = self._result(
                     lane, s["cycles"], s["fetch_stalls"],
                     s["rename_stalls"], s["ctl"], n, mirrored=rep != idx,
-                    stats_of=lanes[rep], operations=operations)
+                    stats_of=lanes[rep], operations=operations,
+                    stack=s.get("stack"))
                 result.meta["jit"] = True
             else:
                 st = by_rep[rep]
@@ -1220,7 +1321,8 @@ class BatchCore:
                 result = self._result(
                     lane, st.cycles, st.fetch_stalls, st.rename_stalls,
                     ctl, n, mirrored=rep != idx,
-                    stats_of=lanes[rep], operations=operations)
+                    stats_of=lanes[rep], operations=operations,
+                    stack=st.stack)
                 result.meta["jit"] = False
             results.append(result)
         if phases is not None:
@@ -1234,7 +1336,8 @@ class BatchCore:
     def _result(lane: LaneSpec, cycles: int, fetch_stalls: int,
                 rename_stalls: int, ctl, n: int, *,
                 mirrored: bool = False, stats_of: LaneSpec | None = None,
-                operations: int | None = None) -> SimResult:
+                operations: int | None = None,
+                stack: dict | None = None) -> SimResult:
         source = (stats_of or lane).memsys
         mem_stats = source.stats() if hasattr(source, "stats") else {}
         result = SimResult(
@@ -1248,6 +1351,13 @@ class BatchCore:
             rename_stall_events=rename_stalls,
             mem_stats=dict(mem_stats),
         )
+        if stack is not None:
+            # Mirrored lanes replicate the representative's stack verbatim
+            # (they are the same simulation); conservation is re-checked
+            # per result either way.
+            result.stack = checked_stack(cycles, TimingStats(**stack))
+            if hasattr(source, "accounting_stats"):
+                result.meta["mem_accounting"] = source.accounting_stats()
         if mirrored:
             result.meta["batch_mirrored"] = True
         return result

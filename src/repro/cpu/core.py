@@ -54,7 +54,7 @@ class _Entry:
     """One in-flight instruction in the reorder buffer (reference core)."""
 
     __slots__ = ("instr", "deps", "completion", "chain_ready", "issued",
-                 "fetch_cycle", "mispredicted")
+                 "fetch_cycle", "dispatch_cycle", "mispredicted")
 
     def __init__(self, instr: DynInstr, fetch_cycle: int) -> None:
         self.instr = instr
@@ -94,6 +94,80 @@ class _EventEntry:
         # seq, dispatch_cycle and pending_deps are assigned at dispatch.
 
 
+#: CPI-stack components, in display order.  With cycle accounting enabled
+#: every simulated cycle lands in exactly one of these buckets (the
+#: one-cycle-one-bucket rule; see DESIGN.md section 9):
+#:
+#: * ``base`` -- committing at full width, or the head is making normal
+#:   single-cycle progress (includes issued compute latency).
+#: * ``fetch`` -- the instruction window is empty because the front end
+#:   has not delivered (I-window fill, taken-branch bubbles, misprediction
+#:   redirect).
+#: * ``rename`` -- dispatch blocked on window admission: physical-register
+#:   headroom or a full load/store queue.
+#: * ``fu_structural`` -- the window head is ready but no functional unit
+#:   of its class is free.
+#: * ``mem_conflict`` -- the head is a memory operation that cannot issue
+#:   (port/bank conflict, MSHR or bus occupancy in the cache models).
+#: * ``mem_latency`` -- the head is an issued memory operation still
+#:   waiting on the hierarchy (miss latency, element streaming).
+#: * ``drain`` -- the trace is exhausted and the pipeline is emptying.
+STACK_COMPONENTS = ("base", "fetch", "rename", "fu_structural",
+                    "mem_conflict", "mem_latency", "drain")
+
+
+@dataclass
+class TimingStats:
+    """A CPI stack: simulated cycles attributed to exactly one component.
+
+    Produced by the timing engines when ``accounting=`` is on; conservation
+    (``total() == SimResult.cycles``) is asserted at construction via
+    :func:`checked_stack`.  ``legacy`` marks an instance rebuilt from a
+    pre-1.7 result dict that carried no stack fields (all zero); it is
+    excluded from equality so legacy round-trips stay comparable.
+    """
+
+    base: int = 0
+    fetch: int = 0
+    rename: int = 0
+    fu_structural: int = 0
+    mem_conflict: int = 0
+    mem_latency: int = 0
+    drain: int = 0
+    legacy: bool = field(default=False, compare=False)
+
+    def total(self) -> int:
+        return (self.base + self.fetch + self.rename + self.fu_structural
+                + self.mem_conflict + self.mem_latency + self.drain)
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in STACK_COMPONENTS}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimingStats":
+        """Tolerant inverse of :meth:`to_dict`.
+
+        Components missing from ``data`` (a result written before the
+        component existed) default to zero and flag the instance as
+        ``legacy`` instead of raising, so old cached/served results stay
+        loadable forever.
+        """
+        stack = cls(**{name: int(data.get(name, 0))
+                       for name in STACK_COMPONENTS})
+        stack.legacy = any(name not in data for name in STACK_COMPONENTS)
+        return stack
+
+
+def checked_stack(cycles: int, stack: TimingStats) -> TimingStats:
+    """Enforce the conservation invariant ``cycles == sum(stack)``."""
+    total = stack.total()
+    if total != cycles:
+        raise AssertionError(
+            f"CPI-stack conservation violated: {total} cycles attributed "
+            f"vs {cycles} simulated ({stack.to_dict()})")
+    return stack
+
+
 @dataclass
 class SimResult:
     """Outcome of one simulation run."""
@@ -107,6 +181,10 @@ class SimResult:
     fetch_stall_cycles: int = 0
     rename_stall_events: int = 0
     mem_stats: dict = field(default_factory=dict)
+    #: CPI stack (cycle accounting); ``None`` unless the run was made with
+    #: ``accounting=`` on.  Serialized as ``cpi_stack`` -- and only when
+    #: present, so accounting-off results stay bit-identical to pre-1.7.
+    stack: TimingStats | None = None
     #: Non-deterministic run metadata (wall-clock timing and the like);
     #: excluded from equality so simulation results stay comparable across
     #: hosts, cache hits and parallel execution paths.
@@ -123,7 +201,7 @@ class SimResult:
 
     def to_dict(self) -> dict:
         """Plain-data image for the persistent result cache (JSON-safe)."""
-        return {
+        data = {
             "cycles": self.cycles,
             "instructions": self.instructions,
             "operations": self.operations,
@@ -135,6 +213,9 @@ class SimResult:
             "mem_stats": dict(self.mem_stats),
             "meta": dict(self.meta),
         }
+        if self.stack is not None:
+            data["cpi_stack"] = self.stack.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SimResult":
@@ -142,10 +223,17 @@ class SimResult:
 
         Unknown keys are ignored rather than raised on, so persistent-cache
         entries written by a newer schema degrade gracefully instead of
-        breaking older readers.
+        breaking older readers; pre-1.7 dicts (no ``cpi_stack``) load with
+        ``stack=None``, and partial stacks load default-zero via the
+        tolerant :meth:`TimingStats.from_dict`.
         """
         known = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in known})
+        kwargs = {k: v for k, v in data.items()
+                  if k in known and k != "stack"}
+        stack = data.get("cpi_stack")
+        if stack is not None:
+            kwargs["stack"] = TimingStats.from_dict(stack)
+        return cls(**kwargs)
 
 
 class Core:
@@ -188,7 +276,8 @@ class Core:
 
     def __init__(self, config: MachineConfig, memsys, *,
                  acc_chaining: bool = True, late_release: bool = True,
-                 zero_idiom_elision: bool = True) -> None:
+                 zero_idiom_elision: bool = True,
+                 accounting: bool = False) -> None:
         """Args beyond config/memsys are ablation knobs (benchmarks):
 
         acc_chaining: pipeline partial accumulations inside matrix
@@ -197,9 +286,13 @@ class Core:
         late_release: banked media/accumulator files release physical
             registers at writeback instead of commit.
         zero_idiom_elision: ``clracc``/``momzero`` allocate no register.
+        accounting: attribute every simulated cycle to one CPI-stack
+            component (``result.stack``); off by default so results and
+            speed are untouched.
         """
         self.config = config
         self.memsys = memsys
+        self.accounting = accounting
         self.acc_chaining = acc_chaining
         self.late_release_pools = (self.LATE_RELEASE_POOLS if late_release
                                    else frozenset())
@@ -310,6 +403,13 @@ class Core:
         fetch_queue_cap = 2 * width
         seq = 0
 
+        # CPI-stack accumulators (see STACK_COMPONENTS); only touched when
+        # accounting is on, so the default path pays one flag test per
+        # cycle plus the admission_blocked reset.
+        accounting = self.accounting
+        st_base = st_fetch = st_rename = st_fu = 0
+        st_memc = st_meml = st_drain = 0
+
         #: (ready_cycle, seq, entry): all dependences issued, waiting for
         #: their results; promoted to `issuable` when ready_cycle arrives.
         wakeups: list[tuple[int, int, _EventEntry]] = []
@@ -371,6 +471,15 @@ class Core:
                 committed += 1
                 commits += 1
             if committed >= n:
+                # Final cycle: the window and fetch stream are empty.  A
+                # full-width commit is base work; anything narrower is the
+                # pipeline draining (identical to the per-cycle rules the
+                # reference loop applies on its way out).
+                if accounting:
+                    if commits == width:
+                        st_base += 1
+                    else:
+                        st_drain += 1
                 break       # the remaining phases are vacuously empty
 
             # --- wake: promote entries whose readiness/retry horizon arrived ----
@@ -465,6 +574,7 @@ class Core:
 
             # --- dispatch: fetch queue -> ROB (rename + allocate) ---------------
             dispatched = 0
+            admission_blocked = False
             while (fetch_queue and dispatched < width
                    and len(rob) < rob_size):
                 entry = fetch_queue[0]
@@ -472,6 +582,7 @@ class Core:
                 if entry.fetch_cycle + front_latency > cycle:
                     break
                 if rec.is_memory and lsq_used >= lsq_size:
+                    admission_blocked = True
                     break
                 zero_idiom = rec.op_name in zero_idioms
                 if not zero_idiom:
@@ -484,6 +595,7 @@ class Core:
                             break
                     if blocked:
                         rename_stalls += 1
+                        admission_blocked = True
                         break
                 fetch_queue.popleft()
                 pending = 0
@@ -550,6 +662,38 @@ class Core:
             elif fetch_idx < n:
                 fetch_stall_cycles += 1
 
+            # --- account: attribute this cycle to exactly one stack bucket ------
+            # End-of-cycle classification, first-match-wins (DESIGN.md §9):
+            # full-width commit > head memory latency > head memory conflict
+            # > window admission > FU structural > base > drain > fetch.
+            if accounting:
+                if commits == width:
+                    st_base += 1
+                elif rob:
+                    head = rob[0]
+                    if head.completion is not None:
+                        if head.rec.is_memory and head.completion > cycle + 1:
+                            st_meml += 1
+                        elif admission_blocked:
+                            st_rename += 1
+                        else:
+                            st_base += 1
+                    elif head.dispatch_cycle < cycle:
+                        if head.rec.is_memory:
+                            st_memc += 1
+                        elif admission_blocked:
+                            st_rename += 1
+                        else:
+                            st_fu += 1
+                    elif admission_blocked:
+                        st_rename += 1
+                    else:
+                        st_base += 1
+                elif fetch_idx >= n:
+                    st_drain += 1
+                else:
+                    st_fetch += 1
+
             # --- horizon: first future cycle at which anything can happen -------
             # Fast path: leftover ready entries (width cutoff) or wakeups due
             # next cycle mean the next cycle is active; nothing to account.
@@ -570,6 +714,7 @@ class Core:
                 if ready < nxt:
                     nxt = ready
             rename_blocked = False
+            lsq_blocked = False
             if fetch_queue and len(rob) < rob_size:
                 head = fetch_queue[0]
                 front_ready = head.fetch_cycle + front_latency
@@ -577,7 +722,7 @@ class Core:
                     if front_ready < nxt:
                         nxt = front_ready
                 elif head.rec.is_memory and lsq_used >= lsq_size:
-                    pass        # a commit frees the LSQ; commits are events
+                    lsq_blocked = True  # a commit frees the LSQ; commits are events
                 elif not rename_ok(head.rec, inflight_dsts, phys_limit):
                     # Dispatch resumes at a register release or a commit;
                     # skipped cycles still count as rename-stall events.
@@ -606,6 +751,39 @@ class Core:
                                            - next_cycle)
                 if rename_blocked:
                     rename_stalls += skipped
+                if accounting:
+                    # The skipped span replays the per-cycle rules against
+                    # frozen state: no commits, no releases, no dispatch and
+                    # no fetch can occur before `nxt`, so every span cycle
+                    # classifies identically -- except the last one when the
+                    # head's memory completion lands exactly on `nxt`, where
+                    # the latency rule (completion > t+1) no longer holds.
+                    adm = rename_blocked or lsq_blocked
+                    if rob:
+                        head = rob[0]
+                        if head.completion is not None:
+                            if head.rec.is_memory:
+                                st_meml += skipped
+                                if head.completion == nxt:
+                                    st_meml -= 1
+                                    if adm:
+                                        st_rename += 1
+                                    else:
+                                        st_base += 1
+                            elif adm:
+                                st_rename += skipped
+                            else:
+                                st_base += skipped
+                        elif head.rec.is_memory:
+                            st_memc += skipped
+                        elif adm:
+                            st_rename += skipped
+                        else:
+                            st_fu += skipped
+                    elif fetch_idx >= n:
+                        st_drain += skipped
+                    else:
+                        st_fetch += skipped
                 cycle = nxt - 1     # the loop header re-increments
 
         if phases is not None:
@@ -622,6 +800,13 @@ class Core:
             rename_stall_events=rename_stalls,
             mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats") else {},
         )
+        if accounting:
+            result.stack = checked_stack(cycle, TimingStats(
+                base=st_base, fetch=st_fetch, rename=st_rename,
+                fu_structural=st_fu, mem_conflict=st_memc,
+                mem_latency=st_meml, drain=st_drain))
+            if hasattr(self.memsys, "accounting_stats"):
+                result.meta["mem_accounting"] = self.memsys.accounting_stats()
         result.meta["jit"] = False
         if phases is not None:
             phases["writeback"] = (phases.get("writeback", 0.0)
@@ -646,7 +831,8 @@ class Core:
         spec = LaneSpec(self.config, self.memsys,
                         acc_chaining=self.acc_chaining,
                         late_release=bool(self.late_release_pools),
-                        zero_idiom_elision=bool(self.zero_idioms))
+                        zero_idiom_elision=bool(self.zero_idioms),
+                        accounting=self.accounting)
         if lane_unjittable_reason(spec) is not None:
             return None
         # Phase timings go to a local dict first: an UnjittableError
@@ -672,6 +858,11 @@ class Core:
             mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats")
             else {},
         )
+        if self.accounting:
+            result.stack = checked_stack(
+                stats["cycles"], TimingStats(**stats["stack"]))
+            if hasattr(self.memsys, "accounting_stats"):
+                result.meta["mem_accounting"] = self.memsys.accounting_stats()
         result.meta["jit"] = True
         if phases is not None:
             for key, dt in jit_phases.items():
@@ -706,6 +897,10 @@ class Core:
         fetch_stall_cycles = 0
         rename_stalls = 0
         fetch_queue_cap = 2 * width
+
+        accounting = self.accounting
+        st_base = st_fetch = st_rename = st_fu = 0
+        st_memc = st_meml = st_drain = 0
 
         while committed < n:
             cycle += 1
@@ -762,15 +957,18 @@ class Core:
 
             # --- dispatch: fetch queue -> ROB (rename + allocate) ------------------
             dispatched = 0
+            admission_blocked = False
             while (fetch_queue and dispatched < width and len(rob) < cfg.rob_size):
                 entry = fetch_queue[0]
                 if entry.fetch_cycle + cfg.front_latency > cycle:
                     break
                 instr = entry.instr
                 if instr.iclass.is_memory and lsq_used >= cfg.lsq_size:
+                    admission_blocked = True
                     break
                 if not self._rename_ok(instr, inflight_dsts, phys_limit):
                     rename_stalls += 1
+                    admission_blocked = True
                     break
                 fetch_queue.pop(0)
                 zero_idiom = instr.op.name in self.zero_idioms
@@ -784,6 +982,7 @@ class Core:
                     last_writer[dst] = entry
                 if instr.iclass.is_memory:
                     lsq_used += 1
+                entry.dispatch_cycle = cycle
                 rob.append(entry)
                 dispatched += 1
 
@@ -818,7 +1017,37 @@ class Core:
             elif fetch_idx < n:
                 fetch_stall_cycles += 1
 
-        return SimResult(
+            # --- account: the same end-of-cycle rules as the event engine -------
+            if accounting:
+                if commits == width:
+                    st_base += 1
+                elif rob:
+                    head = rob[0]
+                    if head.completion is not None:
+                        if (head.instr.iclass.is_memory
+                                and head.completion > cycle + 1):
+                            st_meml += 1
+                        elif admission_blocked:
+                            st_rename += 1
+                        else:
+                            st_base += 1
+                    elif head.dispatch_cycle < cycle:
+                        if head.instr.iclass.is_memory:
+                            st_memc += 1
+                        elif admission_blocked:
+                            st_rename += 1
+                        else:
+                            st_fu += 1
+                    elif admission_blocked:
+                        st_rename += 1
+                    else:
+                        st_base += 1
+                elif fetch_idx >= n:
+                    st_drain += 1
+                else:
+                    st_fetch += 1
+
+        result = SimResult(
             cycles=cycle,
             instructions=n,
             operations=trace.operation_count(),
@@ -829,6 +1058,14 @@ class Core:
             rename_stall_events=rename_stalls,
             mem_stats=self.memsys.stats() if hasattr(self.memsys, "stats") else {},
         )
+        if accounting:
+            result.stack = checked_stack(cycle, TimingStats(
+                base=st_base, fetch=st_fetch, rename=st_rename,
+                fu_structural=st_fu, mem_conflict=st_memc,
+                mem_latency=st_meml, drain=st_drain))
+            if hasattr(self.memsys, "accounting_stats"):
+                result.meta["mem_accounting"] = self.memsys.accounting_stats()
+        return result
 
     # --- event-scheduler helpers --------------------------------------------------
 

@@ -110,7 +110,18 @@ _R_BQ_TAIL = 19
 _R_PM_SCALAR = 20
 _R_PM_VECTOR = 21
 _R_PM_ELEM = 22
-_NREGS = 23
+# CPI-stack accumulators (live only when ``cfg[_C_ACCT]`` is set; the
+# kernel statements are identical under numba and pure python).
+_R_ST_BASE = 23
+_R_ST_FETCH = 24
+_R_ST_RENAME = 25
+_R_ST_FU = 26
+_R_ST_MEMC = 27
+_R_ST_MEML = 28
+_R_ST_DRAIN = 29
+_R_PM_ACCT_N = 30
+_R_PM_ACCT_OCC = 31
+_NREGS = 32
 
 # ``cfg`` slots: per-lane constants.
 _C_WIDTH = 0
@@ -126,7 +137,8 @@ _C_PM_LAT = 9
 _C_PM_PORTS = 10
 _C_PM_SLOTS = 11
 _C_LIM0 = 12          # .. _C_LIM0 + 3: physical-register pool limits
-_NCFG = 16
+_C_ACCT = 16          # 1 when the lane runs with cycle accounting
+_NCFG = 17
 
 # Kernel exit statuses.
 _ST_PAUSED = 0        # fetch reached the decoded prefix; resume after decode
@@ -259,6 +271,7 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
     pm_lat = cfg[_C_PM_LAT]
     pm_ports = cfg[_C_PM_PORTS]
     pm_slots = cfg[_C_PM_SLOTS]
+    accounting = cfg[_C_ACCT]
 
     cycle = regs[_R_CYCLE]
     committed = regs[_R_COMMITTED]
@@ -283,6 +296,15 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
     pm_scalar = regs[_R_PM_SCALAR]
     pm_vector = regs[_R_PM_VECTOR]
     pm_elem = regs[_R_PM_ELEM]
+    st_base = regs[_R_ST_BASE]
+    st_fetch = regs[_R_ST_FETCH]
+    st_rename = regs[_R_ST_RENAME]
+    st_fu = regs[_R_ST_FU]
+    st_memc = regs[_R_ST_MEMC]
+    st_meml = regs[_R_ST_MEML]
+    st_drain = regs[_R_ST_DRAIN]
+    pm_acct_n = regs[_R_PM_ACCT_N]
+    pm_acct_occ = regs[_R_PM_ACCT_OCC]
 
     status = _ST_DONE
     while committed < n:
@@ -305,6 +327,7 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
             inflight[3] -= v & 0xFFFF
 
         # --- commit ---------------------------------------------------------
+        cbase = committed
         lim = committed + width
         if disp_idx < lim:
             lim = disp_idx
@@ -319,6 +342,11 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
             lsq_used -= c_commit[gs, 4]
             committed += 1
         if committed >= n:
+            if accounting != 0:
+                if committed - cbase == width:
+                    st_base += 1
+                else:
+                    st_drain += 1
             break
 
         # --- wake -----------------------------------------------------------
@@ -375,6 +403,8 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
                         pm_vector += 1
                         pm_elem += vl
                         completion = cycle + occ - 1 + pm_lat
+                        pm_acct_n += 1
+                        pm_acct_occ += completion - cycle
                 else:
                     for p in range(pm_ports):
                         if pm_busy[p] <= cycle:
@@ -382,6 +412,8 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
                             pm_scalar += 1
                             pm_elem += 1
                             completion = cycle + pm_lat
+                            pm_acct_n += 1
+                            pm_acct_occ += pm_lat
                             break
             elif kind == 2:             # control: simple integer pipe
                 for u in range(fu_lo[0], fu_hi[0]):
@@ -473,6 +505,8 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
                     whead[ws] = -1
 
         # --- dispatch: fetch queue -> ROB (rename + allocate) ---------------
+        disp_before = disp_idx
+        admission_blocked = False
         dlim = disp_idx + width
         if fetch_idx < dlim:
             dlim = fetch_idx
@@ -504,6 +538,7 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
                     # Admission failed: LSQ-full breaks silently (a
                     # commit will free it); a register shortfall is a
                     # rename stall, exactly Core's check order.
+                    admission_blocked = True
                     if r_kind[gs] == 1 and lsq_used >= lsq_size:
                         break
                     rename_stalls += 1
@@ -587,6 +622,38 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
         elif fetch_idx < n:
             fetch_stalls += 1
 
+        # --- account: same end-of-cycle classification as Core.run ----------
+        # Head index is `committed`; dispatched-this-cycle is
+        # `committed >= disp_before` (the dispatch_cycle test without a
+        # per-entry field).
+        if accounting != 0:
+            if committed - cbase == width:
+                st_base += 1
+            elif committed < disp_idx:
+                hcc = e_completion[committed & wmask]
+                if hcc != _UNISSUED:
+                    if r_kind[committed & gmask] == 1 and hcc > next_cycle:
+                        st_meml += 1
+                    elif admission_blocked:
+                        st_rename += 1
+                    else:
+                        st_base += 1
+                elif committed < disp_before:
+                    if r_kind[committed & gmask] == 1:
+                        st_memc += 1
+                    elif admission_blocked:
+                        st_rename += 1
+                    else:
+                        st_fu += 1
+                elif admission_blocked:
+                    st_rename += 1
+                else:
+                    st_base += 1
+            elif fetch_idx >= n:
+                st_drain += 1
+            else:
+                st_fetch += 1
+
         # --- horizon: first future cycle at which anything can happen -------
         if niss > 0 or nwn > 0:
             continue
@@ -606,6 +673,7 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
             if ready < nxt:
                 nxt = ready
         rename_blocked = False
+        lsq_blocked = False
         if disp_idx < fetch_idx and disp_idx - committed < rob_size:
             if disp_idx >= burst_end:
                 v = bursts[bq_head & bqmask]
@@ -630,7 +698,8 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
                         blocked = True
                 if blocked:
                     if r_kind[gs] == 1 and lsq_used >= lsq_size:
-                        pass    # a commit frees the LSQ; commits are events
+                        # A commit frees the LSQ; commits are events.
+                        lsq_blocked = True
                     else:
                         rename_blocked = True
                         if nrel > 0:
@@ -655,6 +724,36 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
                 fetch_stalls += stop - next_cycle
             if rename_blocked:
                 rename_stalls += skipped
+            if accounting != 0:
+                # Frozen-state span replay of the per-cycle rules; the
+                # only in-span transition is the head's memory completion
+                # landing exactly on `nxt` (see Core.run).
+                adm = rename_blocked or lsq_blocked
+                if committed < disp_idx:
+                    hcs = e_completion[committed & wmask]
+                    if hcs != _UNISSUED:
+                        if r_kind[committed & gmask] == 1:
+                            st_meml += skipped
+                            if hcs == nxt:
+                                st_meml -= 1
+                                if adm:
+                                    st_rename += 1
+                                else:
+                                    st_base += 1
+                        elif adm:
+                            st_rename += skipped
+                        else:
+                            st_base += skipped
+                    elif r_kind[committed & gmask] == 1:
+                        st_memc += skipped
+                    elif adm:
+                        st_rename += skipped
+                    else:
+                        st_fu += skipped
+                elif fetch_idx >= n:
+                    st_drain += skipped
+                else:
+                    st_fetch += skipped
             cycle = nxt - 1     # the loop header re-increments
 
     regs[_R_CYCLE] = cycle
@@ -680,6 +779,15 @@ def _step_lane(regs, cfg, inflight, fu_busy, fu_lo, fu_hi, fu_lanes,
     regs[_R_PM_SCALAR] = pm_scalar
     regs[_R_PM_VECTOR] = pm_vector
     regs[_R_PM_ELEM] = pm_elem
+    regs[_R_ST_BASE] = st_base
+    regs[_R_ST_FETCH] = st_fetch
+    regs[_R_ST_RENAME] = st_rename
+    regs[_R_ST_FU] = st_fu
+    regs[_R_ST_MEMC] = st_memc
+    regs[_R_ST_MEML] = st_meml
+    regs[_R_ST_DRAIN] = st_drain
+    regs[_R_PM_ACCT_N] = pm_acct_n
+    regs[_R_PM_ACCT_OCC] = pm_acct_occ
     return status
 
 
@@ -977,6 +1085,8 @@ class _JitLane:
         regs[_R_PM_SCALAR] = portset.scalar_accesses
         regs[_R_PM_VECTOR] = portset.vector_accesses
         regs[_R_PM_ELEM] = portset.element_accesses
+        regs[_R_PM_ACCT_N] = pm.acct_accesses
+        regs[_R_PM_ACCT_OCC] = pm.acct_occupancy
 
         self.e_completion = _np.zeros(window, i64)
         self.e_chain = _np.zeros(window, i64)
@@ -1009,6 +1119,7 @@ class _JitLane:
         c[_C_PM_SLOTS] = portset.ports * portset.port_width
         for pool in RegPool:
             c[_C_LIM0 + int(pool)] = cfg.phys_limit(pool)
+        c[_C_ACCT] = 1 if spec.accounting else 0
         self.cfg = c
 
     def step(self, rings: _Rings, n: int, avail: int) -> int:
@@ -1037,16 +1148,30 @@ class _JitLane:
         memory systems untouched for the interpreted re-run.
         """
         regs = self.regs
-        portset = self.spec.memsys.portset
+        pm = self.spec.memsys
+        portset = pm.portset
         portset.busy_until[:] = [int(v) for v in self.pm_busy]
         portset.scalar_accesses = int(regs[_R_PM_SCALAR])
         portset.vector_accesses = int(regs[_R_PM_VECTOR])
         portset.element_accesses = int(regs[_R_PM_ELEM])
-        return {
+        pm.acct_accesses = int(regs[_R_PM_ACCT_N])
+        pm.acct_occupancy = int(regs[_R_PM_ACCT_OCC])
+        stats = {
             "cycles": int(regs[_R_CYCLE]),
             "fetch_stalls": int(regs[_R_FSTALL]),
             "rename_stalls": int(regs[_R_RSTALL]),
         }
+        if self.spec.accounting:
+            stats["stack"] = {
+                "base": int(regs[_R_ST_BASE]),
+                "fetch": int(regs[_R_ST_FETCH]),
+                "rename": int(regs[_R_ST_RENAME]),
+                "fu_structural": int(regs[_R_ST_FU]),
+                "mem_conflict": int(regs[_R_ST_MEMC]),
+                "mem_latency": int(regs[_R_ST_MEML]),
+                "drain": int(regs[_R_ST_DRAIN]),
+            }
+        return stats
 
 
 # --- driver -----------------------------------------------------------------
@@ -1078,8 +1203,16 @@ def run_lanes_jit(specs, trace, *, block: int | None = None,
     if n >= 1 << 31:
         raise UnjittableError("trace too long for packed int64 indices")
     if n == 0:
-        return [{"cycles": 0, "fetch_stalls": 0, "rename_stalls": 0,
-                 "ctl": None} for _ in specs]
+        out = []
+        for spec in specs:
+            s = {"cycles": 0, "fetch_stalls": 0, "rename_stalls": 0,
+                 "ctl": None}
+            if spec.accounting:
+                s["stack"] = {name: 0 for name in
+                              ("base", "fetch", "rename", "fu_structural",
+                               "mem_conflict", "mem_latency", "drain")}
+            out.append(s)
+        return out
 
     if block is None:
         block = BatchCore.BLOCK

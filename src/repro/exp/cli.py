@@ -8,6 +8,9 @@ Examples::
     repro tables
     repro latency --way 4
     repro fetch-pressure
+    repro explain figure7 --ways 4       # ASCII CPI-stack bars per point
+    repro explain figure7 --ways 4 --diff mom-vectorcache mmx-conv
+    repro figure5 --explain              # figure + cycle attribution
     repro sweep figure5 --jobs 8       # raw grid, parallel
     repro sweep figure5 --progress     # live points/s + ETA line (TTY)
     repro sweep vc-kernels             # the compiler-built kernels
@@ -123,6 +126,8 @@ def _cmd_figure5(args) -> int:
     print("\n=== MOM gain over best 1D SIMD ISA at 4-way ===")
     for kernel, ratio in figure5.mom_vs_best_simd(results).items():
         print(f"  {kernel:16s} {ratio:5.2f}x")
+    if getattr(args, "explain", False):
+        _explain_sweep(session, sweep)
     return 0
 
 
@@ -144,6 +149,8 @@ def _cmd_figure7(args) -> int:
           "(paper: ~20% average) ===")
     for app, ratio in figure7.summarize(results).items():
         print(f"  {app:16s} {ratio:5.2f}x")
+    if getattr(args, "explain", False):
+        _explain_sweep(session, sweep)
     return 0
 
 
@@ -251,6 +258,8 @@ def _print_grid(points, results) -> None:
 def _cmd_sweep(args) -> int:
     session = _session(args)
     sweep = _sweep_from_args(args)
+    if getattr(args, "explain", False):
+        sweep = sweep.replace(accounting=True)
     points = sweep.points()
     print(f"sweep {sweep.name}: {len(points)} points, jobs={args.jobs}")
     line = _progress_line(args, len(points), session)
@@ -261,6 +270,148 @@ def _cmd_sweep(args) -> int:
         if line is not None:
             line.close()
     _print_grid(points, results)
+    if getattr(args, "explain", False):
+        _print_stacks(points, results)
+    print(f"\ncache: {session.hits} hits, {session.misses} misses")
+    return 0
+
+
+# --- CPI-stack rendering (repro explain / --explain) --------------------------
+
+#: Stack components in commit-blame order, with their bar glyphs.
+_STACK_GLYPHS = (
+    ("base", "B"), ("fetch", "F"), ("rename", "R"), ("fu_structural", "S"),
+    ("mem_conflict", "C"), ("mem_latency", "M"), ("drain", "D"),
+)
+
+#: Short memory-model aliases accepted by ``repro explain --diff``
+#: (matching the figure7 configuration labels).
+_MEMORY_ALIASES = {"conv": "conventional", "ma": "multiaddress",
+                   "vc": "vectorcache", "col": "collapsing"}
+
+
+def _stack_bar(stack: dict, cycles: int, length: int) -> str:
+    """One segmented ASCII bar, component lengths by largest remainder."""
+    if cycles <= 0 or length <= 0:
+        return ""
+    quotas = [(glyph, stack.get(name, 0) * length / cycles)
+              for name, glyph in _STACK_GLYPHS]
+    cells = [int(q) for _, q in quotas]
+    short = length - sum(cells)
+    order = sorted(range(len(quotas)),
+                   key=lambda i: quotas[i][1] - cells[i], reverse=True)
+    for i in order[:short]:
+        cells[i] += 1
+    return "".join(glyph * n for (glyph, _), n in zip(quotas, cells))
+
+
+def _print_stacks(points, results, width: int = 40) -> None:
+    """ASCII CPI-stack bars, one row per simulated point."""
+    rows = []
+    for point in points:
+        res = results[point]
+        if res.stack is None or not res.instructions:
+            continue
+        rows.append((point, res, res.cycles / res.instructions))
+    if not rows:
+        print("\nno CPI stacks: results carry no accounting data "
+              "(rerun with --explain / accounting on)")
+        return
+    peak = max(cpi for _, _, cpi in rows)
+    legend = " ".join(f"{glyph}={name}" for name, glyph in _STACK_GLYPHS)
+    print(f"\nCPI stacks ({legend}):")
+    header = (f"{'target':16s} {'isa':6s} {'way':>3s} {'memory':12s} "
+              f"{'CPI':>6s}  stack")
+    print(header)
+    print("-" * (len(header) + width - 5))
+    for point, res, cpi in rows:
+        bar = _stack_bar(res.stack.to_dict(), res.cycles,
+                         max(1, round(cpi / peak * width)))
+        print(f"{point.target:16s} {point.isa:6s} {point.way:>3d} "
+              f"{point.memory:12s} {cpi:>6.2f}  |{bar}|")
+
+
+def _explain_sweep(session: Session, sweep: SweepSpec) -> None:
+    """``--explain`` rider for the figure commands: an accounting pass
+    over the same sweep (builds are memoized, so only the timing loop
+    reruns) followed by the stack rendering."""
+    points = sweep.replace(accounting=True).points()
+    results = session.run(points)
+    _print_stacks(points, results)
+
+
+def _parse_explain_config(label: str) -> tuple[str, str]:
+    """``isa-memory`` (figure7-style label) -> (isa, memory model)."""
+    isa, sep, memory = label.partition("-")
+    if not sep or not isa or not memory:
+        raise ValueError(
+            f"bad config {label!r}; use isa-memory, e.g. mom-vectorcache "
+            f"or mmx-conv")
+    return isa, _MEMORY_ALIASES.get(memory, memory)
+
+
+def _print_stack_diff(points, results, pair: tuple[str, str]) -> None:
+    """Per-component CPI delta between two (isa, memory) configurations.
+
+    Components are averaged over every point of each configuration
+    (cycle-weighted: total component cycles / total instructions), so a
+    multi-target sweep diffs the aggregate stacks.
+    """
+    from ..cpu.core import STACK_COMPONENTS
+
+    def aggregate(isa: str, memory: str) -> dict[str, float] | None:
+        cycles = {name: 0 for name in STACK_COMPONENTS}
+        instructions = 0
+        for point in points:
+            res = results[point]
+            if (point.isa != isa or point.memory != memory
+                    or res.stack is None):
+                continue
+            instructions += res.instructions
+            for name, value in res.stack.to_dict().items():
+                cycles[name] += value
+        if not instructions:
+            return None
+        return {name: value / instructions for name, value in cycles.items()}
+
+    configs = [_parse_explain_config(label) for label in pair]
+    sides = [aggregate(isa, memory) for isa, memory in configs]
+    for label, side in zip(pair, sides):
+        if side is None:
+            print(f"\ndiff: no accounted points match {label!r} "
+                  f"in this sweep")
+            return
+    a, b = sides
+    deltas = []
+    # The two memory components read best as one "memory" delta plus
+    # detail; everything else diffs per component.
+    merged = (("fetch", ("fetch",)), ("rename", ("rename",)),
+              ("fu", ("fu_structural",)),
+              ("memory", ("mem_conflict", "mem_latency")),
+              ("base", ("base",)), ("drain", ("drain",)))
+    for label, names in merged:
+        delta = sum(a[n] for n in names) - sum(b[n] for n in names)
+        if abs(delta) >= 0.005:
+            deltas.append(f"{delta:+.2f} CPI {label}")
+    text = ", ".join(deltas) if deltas else "no component differs by >=0.01 CPI"
+    print(f"\n{pair[0]} vs {pair[1]}: {text}")
+
+
+def _cmd_explain(args) -> int:
+    session = _session(args)
+    sweep = _sweep_from_args(args).replace(accounting=True)
+    points = sweep.points()
+    print(f"explain {sweep.name}: {len(points)} points, jobs={args.jobs}")
+    line = _progress_line(args, len(points), session)
+    try:
+        results = session.run(points, jobs=args.jobs,
+                              progress=line.tick if line else None)
+    finally:
+        if line is not None:
+            line.close()
+    _print_stacks(points, results)
+    if args.diff:
+        _print_stack_diff(points, results, tuple(args.diff))
     print(f"\ncache: {session.hits} hits, {session.misses} misses")
     return 0
 
@@ -273,10 +424,13 @@ _BENCH_SUITES = {
     "compile": ("test_compile_bench.py",),
     "serve": ("test_serve_load.py",),
     "obs": ("test_obs_overhead.py",),
+    "trace": ("test_trace_stream.py",),
+    "explain": ("test_explain_overhead.py",),
 }
 _BENCH_SUITES["all"] = tuple(f for files in
                              (_BENCH_SUITES[k] for k in
-                              ("batch", "core", "compile", "serve", "obs"))
+                              ("batch", "core", "compile", "serve", "obs",
+                               "trace", "explain"))
                              for f in files)
 
 
@@ -712,12 +866,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure5", help="kernel speedups across issue widths")
     p.add_argument("--kernel", action="append",
                    help="restrict to specific kernels (repeatable)")
+    p.add_argument("--explain", action="store_true",
+                   help="follow up with a cycle-accounting pass and print "
+                        "the CPI stacks")
     _add_common(p)
     p.set_defaults(func=_cmd_figure5)
 
     p = sub.add_parser("figure7", help="full-app speedups on real caches")
     p.add_argument("--app", action="append",
                    help="restrict to specific applications (repeatable)")
+    p.add_argument("--explain", action="store_true",
+                   help="follow up with a cycle-accounting pass and print "
+                        "the CPI stacks")
     _add_common(p)
     p.set_defaults(func=_cmd_figure7)
 
@@ -735,8 +895,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sweep", help="run a preset or custom sweep")
     _add_sweep_axes(p)
+    p.add_argument("--explain", action="store_true",
+                   help="run with cycle accounting and print the CPI "
+                        "stacks under the grid")
     _add_common(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("explain",
+                       help="attribute every cycle: ASCII CPI-stack bars "
+                            "per point, optionally diffing two configs")
+    _add_sweep_axes(p)
+    p.add_argument("--diff", nargs=2, metavar=("CFG_A", "CFG_B"),
+                   default=None,
+                   help="per-component CPI delta between two isa-memory "
+                        "configurations, e.g. --diff mom-vectorcache "
+                        "mmx-conv")
+    _add_common(p)
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("kernels",
                        help="list kernels/apps with per-ISA DLP coverage")

@@ -98,7 +98,7 @@ def execute_point(point: PointSpec, *, jit: bool | None = None,
                      isa=point.isa, scale=point.scale):
         built = build(point.target, point.isa, point.scale)
     cfg = machine_config(point.way, point.isa)
-    core = Core(cfg, make_memsys(point))
+    core = Core(cfg, make_memsys(point), accounting=point.accounting)
     phases: dict = {}
     with tracer.span("sim.point", parent=parent, target=point.target,
                      isa=point.isa, way=point.way,
@@ -116,7 +116,17 @@ def execute_point(point: PointSpec, *, jit: bool | None = None,
     obs.metrics.counter("points_simulated").inc()
     obs.metrics.counter("instructions_simulated").inc(result.instructions)
     obs.metrics.histogram("sim_point_seconds").observe(elapsed)
+    _export_stack(obs, result)
     return result
+
+
+def _export_stack(obs: Obs, result: SimResult) -> None:
+    """Mirror a result's CPI-stack components into the metrics registry."""
+    if result.stack is None:
+        return
+    for name, value in result.stack.to_dict().items():
+        obs.metrics.counter(
+            f'cpi_stack_cycles{{component="{name}"}}').inc(value)
 
 
 def _worker(payload: dict) -> dict:
@@ -161,7 +171,8 @@ def execute_batch(points: list[PointSpec],
     with tracer.span("trace.build", parent=parent, target=first.target,
                      isa=first.isa, scale=first.scale):
         built = build(first.target, first.isa, first.scale)
-    lanes = [LaneSpec(machine_config(p.way, p.isa), make_memsys(p))
+    lanes = [LaneSpec(machine_config(p.way, p.isa), make_memsys(p),
+                      accounting=p.accounting)
              for p in points]
     core = BatchCore(lanes, jit=jit)   # validates lanes before simulation
     group = "-".join(str(k) for k in build_key(first))
@@ -195,6 +206,8 @@ def execute_batch(points: list[PointSpec],
     obs.metrics.counter("points_simulated").inc(len(points))
     obs.metrics.counter("batch_groups").inc()
     obs.metrics.histogram("sim_group_seconds").observe(elapsed)
+    for result in results:
+        _export_stack(obs, result)
     return results
 
 

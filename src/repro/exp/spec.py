@@ -38,6 +38,8 @@ class PointSpec:
             ignored by the cache hierarchies, which carry their own timing.
         memory: memory-model name from :data:`MEMORY_MODELS`.
         scale: workload scale factor.
+        accounting: run with per-cycle CPI-stack attribution (slower;
+            digests of the timing fields are unchanged either way).
     """
 
     kind: str
@@ -47,6 +49,7 @@ class PointSpec:
     latency: int = 1
     memory: str = "perfect"
     scale: int = 1
+    accounting: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -62,8 +65,16 @@ class PointSpec:
             raise ValueError("scale must be >= 1")
 
     def payload(self) -> dict:
-        """Plain-data image (stable field order) for hashing and storage."""
-        return asdict(self)
+        """Plain-data image (stable field order) for hashing and storage.
+
+        ``accounting`` is emitted only when set, so pre-v1.7 payloads,
+        cache keys and serve requests are byte-identical for plain
+        points (and old servers accept them).
+        """
+        data = asdict(self)
+        if not data["accounting"]:
+            del data["accounting"]
+        return data
 
     def content_hash(self, salt: str = "") -> str:
         """Deterministic digest of this point (plus an optional salt).
@@ -98,6 +109,7 @@ class SweepSpec:
     memories: tuple[str, ...] = ("perfect",)
     pairs: tuple[tuple[str, str], ...] = ()
     scale: int = 1
+    accounting: bool = False
 
     def points(self) -> tuple[PointSpec, ...]:
         """Resolve the sweep into concrete points (deterministic order)."""
@@ -105,7 +117,8 @@ class SweepSpec:
             (isa, memory) for isa in self.isas for memory in self.memories)
         return tuple(
             PointSpec(kind=self.kind, target=target, isa=isa, way=way,
-                      latency=latency, memory=memory, scale=self.scale)
+                      latency=latency, memory=memory, scale=self.scale,
+                      accounting=self.accounting)
             for target in self.targets
             for way in self.ways
             for isa, memory in configs

@@ -126,6 +126,10 @@ class MshrFile:
         self.inflight: dict[int, int] = {}   # line -> fill completion cycle
         self.merges = 0
         self.full_events = 0
+        # Cycle-accounting counter (kept out of digest-pinned ``stats``):
+        # total cycles outstanding fills spent in flight, i.e. the raw
+        # miss-latency exposure this MSHR file absorbed.
+        self.acct_fill_cycles = 0
 
     def _expire(self, cycle: int) -> None:
         expired = [line for line, done in self.inflight.items() if done <= cycle]
@@ -147,6 +151,7 @@ class MshrFile:
             self.full_events += 1
             return False
         self.inflight[line] = done_cycle
+        self.acct_fill_cycles += done_cycle - cycle
         return True
 
 

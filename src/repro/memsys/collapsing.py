@@ -21,3 +21,13 @@ class CollapsingBufferHierarchy(VectorCacheHierarchy):
 
     def __init__(self, way: int) -> None:
         super().__init__(way, collapsing=True)
+
+    def accounting_stats(self) -> dict[str, int]:
+        """Adds the collapse efficiency: elements gathered per line-pair
+        transaction, x100 (the gain over the plain vector cache comes
+        entirely from this grouping of non-contiguous elements)."""
+        merged = super().accounting_stats()
+        merged["collapsed_per_window_x100"] = (
+            100 * self.vector_elements // self.vector_transactions
+            if self.vector_transactions else 0)
+        return merged

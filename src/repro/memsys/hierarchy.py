@@ -192,6 +192,11 @@ class ConventionalHierarchy:
         self.l1 = L1Cache(self.l2, self.params.l1_latency, self.params.l1_banks)
         self.port_free = [0] * self.params.l1_ports
         self.unaligned_splits = 0
+        # Cycle-accounting counters (success-path occupancy plus retry
+        # pressure; kept out of digest-pinned ``stats``).
+        self.acct_accesses = 0
+        self.acct_occupancy = 0
+        self.acct_conflict_retries = 0
 
     # --- port machinery ----------------------------------------------------------
 
@@ -248,6 +253,7 @@ earliest_issue`: every attempt strictly before the returned cycle must
         pieces = self._split_unaligned(instr)
         start = self._claim_port(cycle, len(pieces))
         if start is None:
+            self.acct_conflict_retries += 1
             return None
         completion = start
         for i, addr in enumerate(pieces):
@@ -256,8 +262,11 @@ earliest_issue`: every attempt strictly before the returned cycle must
             else:
                 done = self.l1.load(addr, start + i, allow_stall=False)
             if done is None:     # write buffer full: retry whole access
+                self.acct_conflict_retries += 1
                 return None
             completion = max(completion, done)
+        self.acct_accesses += 1
+        self.acct_occupancy += completion - cycle
         return completion
 
     def stats(self) -> dict[str, float]:
@@ -266,3 +275,19 @@ earliest_issue`: every attempt strictly before the returned cycle must
         merged.update(self.l2.stats())
         merged.update(self.dram.stats())
         return merged
+
+    def accounting_stats(self) -> dict[str, int]:
+        """Per-access occupancy detail for CPI-stack ``meta`` reporting.
+
+        ``conflict_retries`` counts failed issues (port/bank/write-buffer
+        structural pressure -- the ``mem_conflict`` side of the stack);
+        the fill-wait counters expose the raw miss latency the MSHR files
+        absorbed (the ``mem_latency`` side).
+        """
+        return {
+            "accesses": self.acct_accesses,
+            "occupancy_cycles": self.acct_occupancy,
+            "conflict_retries": self.acct_conflict_retries,
+            "l1_fill_wait_cycles": self.l1.mshr.acct_fill_cycles,
+            "l2_fill_wait_cycles": self.l2.mshr.acct_fill_cycles,
+        }

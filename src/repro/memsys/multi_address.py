@@ -42,6 +42,7 @@ class MultiAddressHierarchy(ConventionalHierarchy):
         """Stream VL element accesses round-robin over every port."""
         ports = len(self.port_free)
         if any(free > cycle for free in self.port_free):
+            self.acct_conflict_retries += 1
             return None              # a MOM request reserves all ports
         addresses = instr.element_addresses()
         self.vector_accesses += 1
@@ -61,6 +62,8 @@ class MultiAddressHierarchy(ConventionalHierarchy):
             completion = max(completion, done)
         for p in range(ports):
             self.port_free[p] = cycle + slots_per_port
+        self.acct_accesses += 1
+        self.acct_occupancy += completion - cycle
         return completion
 
     def stats(self) -> dict[str, float]:

@@ -71,6 +71,11 @@ class PerfectMemory:
             raise ValueError("latency must be >= 1")
         self.latency = latency
         self.portset = PortSet(ports, port_width)
+        # Cycle-accounting counters (success-path only; kept out of
+        # :meth:`stats`, which is digest-pinned): how many accesses
+        # issued and the total cycles between issue and completion.
+        self.acct_accesses = 0
+        self.acct_occupancy = 0
 
     def try_issue(self, instr: DynInstr, cycle: int) -> int | None:
         """Start a memory instruction; returns its completion cycle or None."""
@@ -78,9 +83,14 @@ class PerfectMemory:
             occupancy = self.portset.try_vector(cycle, instr.vl)
             if occupancy is None:
                 return None
-            return cycle + occupancy - 1 + self.latency
+            completion = cycle + occupancy - 1 + self.latency
+            self.acct_accesses += 1
+            self.acct_occupancy += completion - cycle
+            return completion
         if not self.portset.try_scalar(cycle):
             return None
+        self.acct_accesses += 1
+        self.acct_occupancy += self.latency
         return cycle + self.latency
 
     def earliest_issue(self, instr: DynInstr, cycle: int) -> int:
@@ -104,4 +114,11 @@ class PerfectMemory:
             "scalar_accesses": self.portset.scalar_accesses,
             "vector_accesses": self.portset.vector_accesses,
             "element_accesses": self.portset.element_accesses,
+        }
+
+    def accounting_stats(self) -> dict[str, int]:
+        """Per-access occupancy detail for CPI-stack ``meta`` reporting."""
+        return {
+            "accesses": self.acct_accesses,
+            "occupancy_cycles": self.acct_occupancy,
         }

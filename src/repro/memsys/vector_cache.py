@@ -81,6 +81,7 @@ class VectorCacheHierarchy(ConventionalHierarchy):
 
     def _vector_access(self, instr: DynInstr, cycle: int) -> int | None:
         if self.vector_port_free > cycle:
+            self.acct_conflict_retries += 1
             return None
         addresses = instr.element_addresses()
         windows = self._windows(addresses)
@@ -109,6 +110,8 @@ class VectorCacheHierarchy(ConventionalHierarchy):
             txn_start += transfer          # the single vector port streams
             completion = max(completion, data_ready + transfer)
         self.vector_port_free = txn_start
+        self.acct_accesses += 1
+        self.acct_occupancy += completion - cycle
         return completion
 
     def stats(self) -> dict[str, float]:

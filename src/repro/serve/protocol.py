@@ -43,6 +43,15 @@ needed.
 into the submitted point list); ``done`` is always the last message of a
 job.  A failed point still produces a ``result`` message, with
 ``"ok": false`` and ``"error"`` instead of ``"result"``.
+
+Cycle accounting (package 1.7) rides the existing shapes additively:
+a point payload carries ``"accounting": true`` only when requested
+(plain payloads are byte-identical to 1.6), and an accounted result
+dict gains a ``"cpi_stack"`` key that old clients simply ignore --
+:meth:`SimResult.from_dict` on either side tolerates the field's
+absence -- so no protocol-version bump is needed.  An older *server*
+rejects the unknown spec field per point (a failed ``result`` message,
+not a job abort), which is the intended loud-but-contained failure.
 """
 
 from __future__ import annotations

@@ -102,6 +102,10 @@ def test_fetch_pressure_study():
     # "order of magnitude more operations per instruction").
     assert comp["mom"].ops_per_instruction > 4 * comp["mmx"].ops_per_instruction
     assert comp["mmx"].ops_per_instruction > comp["alpha"].ops_per_instruction
+    # Measured attribution: the SIMD machine is essentially 100%
+    # fetch-bound at 1-way, MOM spends most cycles elsewhere.
+    assert comp["mmx"].fetch_bound_share > 0.9
+    assert comp["mom"].fetch_bound_share < 0.5
     # MOM retains the most of its wide-machine performance on 1-way.
     motion = results["motion1"]
     assert motion["mom"].retention_1way >= motion["mmx"].retention_1way
