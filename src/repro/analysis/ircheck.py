@@ -1,0 +1,340 @@
+"""IR verification and saturation-range analysis.
+
+Two passes over a :class:`~repro.vc.ir.LoopKernel`:
+
+* :func:`check_ir` re-establishes every structural invariant the IR
+  constructor enforces (the mutation harness builds kernels that bypass
+  ``__post_init__``, and future IR producers -- the ROADMAP autotuner --
+  may not go through the constructor at all), plus width rules the
+  constructor does not know: operand domains of byte operators, scalar
+  Select bounds, shift-count range.
+
+* :func:`check_ranges` runs an interval abstract interpreter over the
+  expression DAG and proves, per ISA, that every u8/i16 intermediate is
+  in range or explicitly saturated.  The per-ISA difference is the
+  saturation device: the scalar lowering's lookup table only covers
+  ``[-TABLE_BIAS, TABLE_SIZE - TABLE_BIAS)`` while ``packushb`` accepts
+  any i16 lane; packed half-domain arithmetic is exact only while values
+  fit one consistent 16-bit reading (unsigned or signed), which is the
+  ``half-width`` checkpoint.
+
+Input intervals: u8 buffers are ``[0, 255]`` by declaration; i16
+buffers take the bound workload's concrete range when a binding is
+supplied (the IDCT-residual contract of ``addblock``), else the full
+i16 range.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from ..vc.ir import (AbsDiff, Add, BYTE, Binding, Const, Expr, GtU, HALF,
+                     Load, LoopKernel, Mul, SatU8, Select, Shr, Square,
+                     Sub, TABLE_BIAS, TABLE_SIZE, U8)
+from .findings import Finding, PASS_IR, PASS_RANGE
+from .interval import I16_MAX, I16_MIN, Interval, U8_MAX, U16_MAX, const
+
+#: Scalar saturation-table domain (inclusive).
+TABLE_LO = -TABLE_BIAS
+TABLE_HI = TABLE_SIZE - TABLE_BIAS - 1
+
+#: Reduction scalars are read out through 32-bit paths (``movd`` +
+#: 32-bit mask on MMX, ``racl`` low word on MDMX/MOM).
+ACC_LIMIT = (1 << 31) - 1
+
+_BYTE_OPS = (AbsDiff, GtU, Select)
+
+
+def _walk(node: Expr, path: str = "expr") -> Iterator[tuple[str, Expr]]:
+    """Yield ``(path, node)`` over the tree (paths name DAG occurrences)."""
+    yield path, node
+    for name, value in vars(node).items():
+        if isinstance(value, Expr):
+            yield from _walk(value, f"{path}.{name}")
+
+
+def domain_of(node: Expr, ir: LoopKernel) -> str:
+    """Evaluation domain of a node (packed-lane width)."""
+    if isinstance(node, Load):
+        return BYTE if ir.buffer(node.buf).elem == U8 else HALF
+    if isinstance(node, Const):
+        return BYTE if node.value <= U8_MAX else HALF
+    if isinstance(node, (Mul, Shr, Square)):
+        return HALF
+    if isinstance(node, (SatU8, AbsDiff, GtU, Select)):
+        return BYTE
+    # Add / Sub inherit the widest child domain.
+    if any(domain_of(c, ir) == HALF for c in node.children()):
+        return HALF
+    return BYTE
+
+
+# --- structural verification -------------------------------------------------
+
+def check_ir(ir: LoopKernel, kernel: str = "") -> list[Finding]:
+    """Type/width/shape-check one kernel; returns findings (empty = ok)."""
+    kernel = kernel or ir.name
+    out: list[Finding] = []
+
+    def bad(rule: str, message: str, location: str = "") -> None:
+        out.append(Finding(PASS_IR, rule, message, kernel=kernel,
+                           location=location))
+
+    if ir.rows < 1 or ir.cols < 1:
+        bad("trip-count", f"trip counts must be positive, got "
+            f"{ir.rows}x{ir.cols}")
+        return out
+    if ir.cols % 8:
+        bad("tile-shape", f"cols must be a multiple of 8, got {ir.cols}")
+    elif ir.cols // 8 > 2:
+        bad("tile-shape", f"at most two 8-byte column tiles, got "
+            f"cols={ir.cols}")
+
+    names = [b.name for b in ir.buffers]
+    if len(set(names)) != len(names):
+        bad("buffers", "duplicate buffer names")
+    outs = [b for b in ir.buffers if b.out]
+    for buf in outs:
+        if buf.elem != U8:
+            bad("buffers", f"out buffer {buf.name!r} must be u8",
+                location=buf.name)
+
+    for path, node in _walk(ir.expr):
+        if isinstance(node, Const) and not 0 <= node.value <= 0xFFFF:
+            bad("const-range", f"Const {node.value} outside [0, 65535]",
+                location=path)
+        if isinstance(node, Load) and node.buf not in names:
+            bad("unknown-buffer", f"load of undeclared buffer {node.buf!r}",
+                location=path)
+        if isinstance(node, Shr) and not 0 <= node.count <= 15:
+            bad("shift-count", f"Shr count {node.count} outside [0, 15]",
+                location=path)
+
+    if ir.reduce:
+        out.extend(_check_reduction(ir, kernel))
+    else:
+        out.extend(_check_map(ir, kernel, outs))
+    return out
+
+
+def _check_reduction(ir: LoopKernel, kernel: str) -> list[Finding]:
+    out: list[Finding] = []
+
+    def bad(rule: str, message: str) -> None:
+        out.append(Finding(PASS_IR, rule, message, kernel=kernel,
+                           location="expr"))
+
+    if any(b.out for b in ir.buffers):
+        bad("reduce-shape", "reduce kernels take no out buffer")
+    expr = ir.expr
+    if isinstance(expr, AbsDiff):
+        a, b = expr.a, expr.b
+    elif isinstance(expr, Square) and isinstance(expr.a, Sub):
+        a, b = expr.a.a, expr.a.b
+    else:
+        bad("reduce-shape", "reductions must be AbsDiff(Load, Load) or "
+            f"Square(Sub(Load, Load)), got {type(expr).__name__}")
+        return out
+    for side in (a, b):
+        if not isinstance(side, Load):
+            bad("reduce-shape", "reduction operands must be loads, got "
+                f"{type(side).__name__}")
+            return out
+        buf = next((x for x in ir.buffers if x.name == side.buf), None)
+        if buf is not None and buf.elem != U8:
+            bad("reduce-shape", f"reduction operand {side.buf!r} must be u8")
+    if a == b:
+        bad("reduce-shape", "reduction operands must differ")
+    return out
+
+
+def _check_map(ir: LoopKernel, kernel: str,
+               outs: list[Any]) -> list[Finding]:
+    out: list[Finding] = []
+
+    def bad(rule: str, message: str, location: str) -> None:
+        out.append(Finding(PASS_IR, rule, message, kernel=kernel,
+                           location=location))
+
+    if len(outs) != 1:
+        bad("map-shape", f"map kernels need exactly one out buffer, "
+            f"got {len(outs)}", "buffers")
+    if ir.argmin:
+        bad("map-shape", "argmin is reduce-only", "expr")
+
+    masks: set[int] = set()
+    for path, node in _walk(ir.expr):
+        if isinstance(node, Select):
+            masks.add(id(node.mask))
+            if not isinstance(node.mask, GtU):
+                bad("select-mask", "Select mask must be GtU", path)
+            elif not isinstance(node.mask.b, Const):
+                bad("select-mask", "GtU bound must be a scalar Const "
+                    "(the scalar lowering compares against an immediate)",
+                    path)
+    for path, node in _walk(ir.expr):
+        if isinstance(node, Square):
+            bad("map-shape", "Square is reduce-only", path)
+        if isinstance(node, GtU) and id(node) not in masks:
+            bad("select-mask", "GtU is only valid as a Select mask", path)
+        if isinstance(node, _BYTE_OPS):
+            for cpath, child in zip((f"{path}.a", f"{path}.b"),
+                                    node.children()[-2:]):
+                if domain_of(child, ir) == HALF:
+                    bad("byte-op-operand",
+                        f"{type(node).__name__} operand evaluates in the "
+                        f"half domain; byte operators need u8 operands",
+                        cpath)
+    # The root must deliver u8 lanes: either an explicit saturation or a
+    # byte-domain expression.
+    root = ir.expr
+    if not isinstance(root, SatU8) and domain_of(root, ir) == HALF:
+        bad("unsaturated-root", "map root evaluates in the half domain "
+            "without a SatU8 saturation", "expr")
+    return out
+
+
+# --- saturation-range analysis ----------------------------------------------
+
+def input_interval(ir: LoopKernel, buf_name: str,
+                   binding: Binding | None) -> Interval:
+    buf = ir.buffer(buf_name)
+    if buf.elem == U8:
+        return Interval(0, U8_MAX)
+    if binding is not None:
+        bound = binding.buffers.get(buf_name)
+        if bound is not None and bound.array is not None:
+            return Interval(int(bound.array.min()), int(bound.array.max()))
+    return Interval(I16_MIN, I16_MAX)
+
+
+def _eval(node: Expr, ir: LoopKernel, binding: Binding | None,
+          memo: dict[Expr, Interval]) -> Interval:
+    if node in memo:
+        return memo[node]
+    if isinstance(node, Load):
+        iv = input_interval(ir, node.buf, binding)
+    elif isinstance(node, Const):
+        iv = const(node.value)
+    elif isinstance(node, Add):
+        iv = _eval(node.a, ir, binding, memo).add(
+            _eval(node.b, ir, binding, memo))
+    elif isinstance(node, Sub):
+        iv = _eval(node.a, ir, binding, memo).sub(
+            _eval(node.b, ir, binding, memo))
+    elif isinstance(node, Mul):
+        iv = _eval(node.a, ir, binding, memo).mul(
+            _eval(node.b, ir, binding, memo))
+    elif isinstance(node, Shr):
+        base = _eval(node.a, ir, binding, memo)
+        # A possibly-negative operand is reported as a checkpoint
+        # violation by the caller; keep the walk total by clamping.
+        iv = Interval(max(base.lo, 0), max(base.hi, 0)).shr(node.count)
+    elif isinstance(node, AbsDiff):
+        iv = _eval(node.a, ir, binding, memo).abs_diff(
+            _eval(node.b, ir, binding, memo))
+    elif isinstance(node, Square):
+        iv = _eval(node.a, ir, binding, memo).square()
+    elif isinstance(node, GtU):
+        _eval(node.a, ir, binding, memo)
+        _eval(node.b, ir, binding, memo)
+        iv = Interval(0, 1)
+    elif isinstance(node, Select):
+        _eval(node.mask, ir, binding, memo)
+        iv = _eval(node.a, ir, binding, memo).join(
+            _eval(node.b, ir, binding, memo))
+    elif isinstance(node, SatU8):
+        iv = _eval(node.a, ir, binding, memo).sat_u8()
+    else:
+        raise TypeError(f"unknown IR node {type(node).__name__}")
+    memo[node] = iv
+    return iv
+
+
+def check_ranges(ir: LoopKernel, binding: Binding | None, isa: str,
+                 kernel: str = "") -> tuple[list[Finding],
+                                            list[dict[str, object]]]:
+    """Interval proof for one kernel on one ISA.
+
+    Returns ``(findings, checkpoints)``; the checkpoints are the proof
+    artifact -- every width-sensitive program point with its computed
+    interval, the bound it must satisfy, and its status.
+    """
+    kernel = kernel or ir.name
+    memo: dict[Expr, Interval] = {}
+    findings: list[Finding] = []
+    checkpoints: list[dict[str, object]] = []
+
+    def checkpoint(rule: str, path: str, node: Expr, iv: Interval,
+                   lo: int, hi: int, saturated: bool = False) -> None:
+        ok = iv.within(lo, hi)
+        checkpoints.append({
+            "rule": rule,
+            "location": path,
+            "node": type(node).__name__,
+            "interval": [iv.lo, iv.hi],
+            "bound": [lo, hi],
+            "status": ("saturated" if saturated and ok else
+                       "in-range" if ok else "violated"),
+        })
+        if not ok:
+            findings.append(Finding(
+                PASS_RANGE, rule,
+                f"{type(node).__name__} interval {iv} escapes [{lo}, {hi}]",
+                kernel=kernel, isa=isa, location=path))
+
+    # Square's operand is widened before squaring (the packed lowerings
+    # unpack to halfwords and psubh), so it evaluates in the half domain
+    # even when both its inputs are bytes.
+    widened = {id(n.a) for _, n in _walk(ir.expr) if isinstance(n, Square)}
+
+    for path, node in _walk(ir.expr):
+        iv = _eval(node, ir, binding, memo)
+        dom = domain_of(node, ir)
+        if id(node) in widened:
+            dom = HALF
+        if isinstance(node, SatU8):
+            inner = _eval(node.a, ir, binding, memo)
+            if isa == "alpha":
+                # mpeg2play-style lookup table: the index must stay
+                # inside the table.
+                checkpoint("sat-table", f"{path}.a", node.a, inner,
+                           TABLE_LO, TABLE_HI, saturated=True)
+            else:
+                # packushb reads signed 16-bit lanes.
+                checkpoint("sat-pack", f"{path}.a", node.a, inner,
+                           I16_MIN, I16_MAX, saturated=True)
+        elif isinstance(node, Shr):
+            # Packed logical shifts read unsigned 16-bit lanes; the
+            # scalar path computes exactly, so agreement needs the exact
+            # value inside u16.
+            inner = _eval(node.a, ir, binding, memo)
+            checkpoint("shr-range", f"{path}.a", node.a, inner, 0, U16_MAX)
+        elif isinstance(node, (Add, Sub, AbsDiff, Select)):
+            if dom == BYTE:
+                # u8 lanes wrap; unsaturated byte arithmetic must stay
+                # inside u8.
+                checkpoint("byte-range", path, node, iv, 0, U8_MAX)
+            else:
+                _half_width(checkpoint, path, node, iv)
+        elif isinstance(node, (Mul, Square)):
+            _half_width(checkpoint, path, node, iv)
+
+    root_iv = _eval(ir.expr, ir, binding, memo)
+    if ir.reduce:
+        total = root_iv.mul(const(ir.rows * ir.cols))
+        checkpoint("acc-range", "expr", ir.expr, total, 0, ACC_LIMIT)
+    else:
+        checkpoint("root-range", "expr", ir.expr, root_iv, 0, U8_MAX,
+                   saturated=isinstance(ir.expr, SatU8))
+    return findings, checkpoints
+
+
+def _half_width(checkpoint: Callable[..., None], path: str, node: Expr,
+                iv: Interval) -> None:
+    """Half-domain exactness: the value must fit one consistent 16-bit
+    reading -- unsigned ``[0, 65535]`` or signed ``[-32768, 32767]``."""
+    if iv.lo >= 0:
+        checkpoint("half-width", path, node, iv, 0, U16_MAX)
+    else:
+        checkpoint("half-width", path, node, iv, I16_MIN, I16_MAX)

@@ -1,0 +1,289 @@
+"""AST linter keeping ``cpu/jit.py`` inside the numba-compilable subset.
+
+The jit engine's bit-exactness story (PR 7) rests on one structural
+claim: ``_heap_push`` / ``_heap_pop`` / ``_step_lane`` are plain
+module-level functions over flat int64 state, and the only thing numba
+changes is a ``_numba.njit(cache=True)`` *re-wrap* of the very same
+function objects -- ``REPRO_JIT_PUREPY=1`` runs the identical
+statements.  This container has no numba, so violations (a dict in lane
+state, a float constant, a closure, ``%`` instead of a pow2 mask) would
+surface only on a numba-equipped host.  The linter enforces the subset
+statically:
+
+* the three kernel functions exist, undecorated, at module level;
+* their bodies avoid constructs numba's nopython mode rejects or that
+  break int64 lane state: container literals and comprehensions,
+  nested functions/lambdas/closures, try/with/yield/global/nonlocal,
+  f-strings, float/complex/str constants (docstrings aside), ``%``,
+  ``/`` and ``**`` (ring arithmetic must use pow2 masks and shifts);
+* every name resolves to a parameter, a local, a whitelisted callee, or
+  a module-level integer constant;
+* the ``if _numba is not None:`` shim reassigns exactly the kernel
+  functions as ``X = _numba.njit(cache=True)(X)`` and nothing else.
+
+The linter takes source text (defaulting to the installed module) so
+the mutation harness can feed deliberately corrupted copies.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable
+
+from .findings import Finding, PASS_JIT
+
+#: Module-level functions that make up the compiled kernel.
+KERNEL_FUNCS = ("_heap_push", "_heap_pop", "_step_lane")
+
+#: Callees allowed inside kernel bodies (numba-compilable built-ins plus
+#: the kernel helpers themselves).
+ALLOWED_CALLS = frozenset(KERNEL_FUNCS) | frozenset(
+    ("range", "min", "max", "len", "abs", "int", "bool"))
+
+#: Names imported from ``.core`` that are integer constants by contract.
+ASSUMED_INT_IMPORTS = frozenset(("_FAR_FUTURE", "_NO_EVENT"))
+
+_FORBIDDEN: dict[type[ast.AST], str] = {
+    ast.Dict: "dict literal",
+    ast.Set: "set literal",
+    ast.DictComp: "dict comprehension",
+    ast.SetComp: "set comprehension",
+    ast.ListComp: "list comprehension",
+    ast.GeneratorExp: "generator expression",
+    ast.Lambda: "lambda",
+    ast.FunctionDef: "nested function",
+    ast.AsyncFunctionDef: "async function",
+    ast.ClassDef: "class definition",
+    ast.Try: "try block",
+    ast.With: "with block",
+    ast.AsyncWith: "async with",
+    ast.AsyncFor: "async for",
+    ast.Yield: "yield",
+    ast.YieldFrom: "yield from",
+    ast.Await: "await",
+    ast.Global: "global statement",
+    ast.Nonlocal: "nonlocal statement",
+    ast.JoinedStr: "f-string",
+    ast.Starred: "starred expression",
+    ast.Raise: "raise statement",
+    ast.Assert: "assert statement",
+    ast.Import: "import statement",
+    ast.ImportFrom: "import statement",
+    ast.Delete: "del statement",
+}
+
+_FORBIDDEN_OPS: dict[type[ast.AST], str] = {
+    ast.Mod: "% (use a pow2 '& mask' -- ring indices must stay branch-"
+             "and-division-free)",
+    ast.Div: "/ (true division produces floats; use >> or //)",
+    ast.Pow: "** (use shifts)",
+    ast.MatMult: "@",
+}
+
+
+def default_source() -> tuple[str, str]:
+    """Source text and display path of the installed ``cpu/jit.py``."""
+    from ..cpu import jit as jit_module
+    path = jit_module.__file__ or "cpu/jit.py"
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read(), "src/repro/cpu/jit.py"
+
+
+def _fold_int(node: ast.expr, known: dict[str, int]) -> int | None:
+    """Constant-fold an integer expression; ``None`` when not an int."""
+    if isinstance(node, ast.Constant):
+        return node.value if type(node.value) is int else None
+    if isinstance(node, ast.Name):
+        return known.get(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub,
+                                                              ast.Invert)):
+        inner = _fold_int(node.operand, known)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else ~inner
+    if isinstance(node, ast.BinOp):
+        a = _fold_int(node.left, known)
+        b = _fold_int(node.right, known)
+        if a is None or b is None:
+            return None
+        ops: dict[type[ast.AST], Callable[[], int | None]] = {
+            ast.Add: lambda: a + b, ast.Sub: lambda: a - b,
+            ast.Mult: lambda: a * b, ast.LShift: lambda: a << b,
+            ast.RShift: lambda: a >> b, ast.BitOr: lambda: a | b,
+            ast.BitAnd: lambda: a & b, ast.BitXor: lambda: a ^ b,
+            ast.FloorDiv: lambda: a // b if b else None}
+        fn = ops.get(type(node.op))
+        return fn() if fn else None
+    return None
+
+
+def _module_int_constants(tree: ast.Module) -> dict[str, int]:
+    known: dict[str, int] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            value = _fold_int(stmt.value, known)
+            if value is not None:
+                known[stmt.targets[0].id] = value
+        elif isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                if alias.name in ASSUMED_INT_IMPORTS:
+                    known[alias.asname or alias.name] = 0
+    return known
+
+
+def _local_names(fn: ast.FunctionDef) -> set[str]:
+    args = fn.args
+    names = {a.arg for a in (args.posonlyargs + args.args + args.kwonlyargs)}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+        elif isinstance(node, (ast.For,)) and isinstance(
+                node.target, ast.Name):
+            names.add(node.target.id)
+    return names
+
+
+def _lint_function(fn: ast.FunctionDef, known_ints: dict[str, int],
+                   path: str) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def bad(rule: str, message: str, node: ast.AST) -> None:
+        findings.append(Finding(
+            PASS_JIT, rule, f"{fn.name}: {message}",
+            location=f"{path}:{getattr(node, 'lineno', fn.lineno)}"))
+
+    if fn.decorator_list:
+        bad("decorated-kernel", "kernel functions must be undecorated so "
+            "the pure-python shim shares the same object", fn)
+
+    locals_ = _local_names(fn)
+    docstring = fn.body[0].value if (
+        fn.body and isinstance(fn.body[0], ast.Expr)
+        and isinstance(fn.body[0].value, ast.Constant)
+        and isinstance(fn.body[0].value.value, str)) else None
+
+    for node in ast.walk(fn):
+        if node is fn or node is docstring:
+            continue
+        kind = _FORBIDDEN.get(type(node))
+        if kind is not None:
+            bad("forbidden-construct", f"{kind} is outside the jit subset",
+                node)
+            continue
+        if isinstance(node, ast.BinOp):
+            op_kind = _FORBIDDEN_OPS.get(type(node.op))
+            if op_kind is not None:
+                bad("forbidden-op", f"operator {op_kind}", node)
+        elif isinstance(node, ast.Constant):
+            if isinstance(node.value, float):
+                bad("float-constant", f"float constant {node.value!r} in "
+                    "int64 lane state", node)
+            elif isinstance(node.value, complex):
+                bad("float-constant", f"complex constant {node.value!r}",
+                    node)
+            elif isinstance(node.value, (str, bytes)):
+                bad("string-constant", f"string constant {node.value!r} "
+                    "(only the docstring is allowed)", node)
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if not (isinstance(callee, ast.Name)
+                    and callee.id in ALLOWED_CALLS):
+                name = (callee.id if isinstance(callee, ast.Name)
+                        else ast.unparse(callee))
+                bad("forbidden-call", f"call to {name!r}; kernels may only "
+                    f"call {sorted(ALLOWED_CALLS)}", node)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if (node.id not in locals_ and node.id not in known_ints
+                    and node.id not in ALLOWED_CALLS):
+                bad("unresolved-name", f"name {node.id!r} is neither a "
+                    "parameter, a local, nor a module-level int constant "
+                    "(closures and module objects do not compile)", node)
+    return findings
+
+
+def _lint_shim(tree: ast.Module, path: str,
+               present: set[str]) -> list[Finding]:
+    """The ``if _numba is not None:`` block must rewrap, not redefine."""
+    findings: list[Finding] = []
+    shim = None
+    for stmt in tree.body:
+        if (isinstance(stmt, ast.If) and isinstance(stmt.test, ast.Compare)
+                and isinstance(stmt.test.left, ast.Name)
+                and stmt.test.left.id == "_numba"
+                and any(isinstance(op, ast.IsNot)
+                        for op in stmt.test.ops)):
+            shim = stmt
+            break
+    if shim is None:
+        findings.append(Finding(
+            PASS_JIT, "missing-shim",
+            "no 'if _numba is not None:' rewrap block: the compiled and "
+            "pure-python paths would not share statements",
+            location=f"{path}:1"))
+        return findings
+
+    rewrapped: set[str] = set()
+    for stmt in shim.body:
+        ok = (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+              and isinstance(stmt.targets[0], ast.Name)
+              and isinstance(stmt.value, ast.Call)
+              and len(stmt.value.args) == 1
+              and isinstance(stmt.value.args[0], ast.Name)
+              and stmt.targets[0].id == stmt.value.args[0].id
+              and isinstance(stmt.value.func, ast.Call)
+              and isinstance(stmt.value.func.func, ast.Attribute)
+              and stmt.value.func.func.attr == "njit"
+              and any(kw.arg == "cache"
+                      and isinstance(kw.value, ast.Constant)
+                      and kw.value.value is True
+                      for kw in stmt.value.func.keywords))
+        if not ok:
+            findings.append(Finding(
+                PASS_JIT, "shim-shape",
+                "the numba shim may only contain 'X = _numba.njit("
+                f"cache=True)(X)' rewraps, found {ast.dump(stmt)[:60]}...",
+                location=f"{path}:{stmt.lineno}"))
+            continue
+        rewrapped.add(stmt.targets[0].id)
+    for name in KERNEL_FUNCS:
+        if name in present and name not in rewrapped:
+            findings.append(Finding(
+                PASS_JIT, "missing-shim",
+                f"{name} is never rewrapped by the numba shim; the jit "
+                "path would run a different function than pure python",
+                location=f"{path}:{shim.lineno}"))
+    return findings
+
+
+def lint_jit(source: str | None = None,
+             path: str = "src/repro/cpu/jit.py") -> list[Finding]:
+    """Lint the jit kernel source; returns findings (empty = compliant)."""
+    if source is None:
+        source, path = default_source()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(PASS_JIT, "syntax", f"unparsable source: {exc}",
+                        location=f"{path}:{exc.lineno or 1}")]
+
+    known_ints = _module_int_constants(tree)
+    findings: list[Finding] = []
+    present: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name in KERNEL_FUNCS:
+            present.add(stmt.name)
+            findings.extend(_lint_function(stmt, known_ints, path))
+    for name in KERNEL_FUNCS:
+        if name not in present:
+            findings.append(Finding(
+                PASS_JIT, "missing-kernel",
+                f"kernel function {name} not found at module level",
+                location=f"{path}:1"))
+    findings.extend(_lint_shim(tree, path, present))
+    return findings

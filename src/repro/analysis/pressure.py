@@ -1,0 +1,87 @@
+"""Register-pressure report from the stream liveness pass.
+
+Peak simultaneous liveness per pool, computed from the same def/use
+walk the dataflow verifier performs: a register is live from its first
+definition (or trace start, for pre-initialized live-ins) to its last
+appearance.  The report joins each pool against the ISA's
+:class:`~repro.isa.model.RegisterFileSpec` so the area side of Table 2
+(``isa/regfile_area.py``) gets a demand figure to set against its cost
+-- the input the ROADMAP autotuner needs to trade schedule aggressiveness
+against register-file area.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..emulib.trace import reg_pool
+from ..isa.model import RegPool
+from ..isa.regfile_area import file_area_units
+
+
+def peak_liveness(builder: Any) -> dict[str, dict[str, int]]:
+    """Per-pool liveness statistics of one built kernel's trace."""
+    preinit = getattr(builder, "preinit", set())
+    first: dict[int, int] = {}
+    last: dict[int, int] = {}
+    for i, instr in enumerate(builder.trace):
+        for encoded in instr.srcs + instr.dsts:
+            if encoded not in first:
+                first[encoded] = 0 if encoded in preinit else i
+            last[encoded] = i
+
+    pools: dict[str, dict[str, int]] = {}
+    by_pool: dict[RegPool, list[tuple[int, int]]] = {}
+    for encoded, start in first.items():
+        by_pool.setdefault(reg_pool(encoded), []).append(
+            (start, last[encoded]))
+    for pool, ranges in by_pool.items():
+        events = sorted([(s, 1) for s, _ in ranges]
+                        + [(e + 1, -1) for _, e in ranges])
+        live = peak = 0
+        for _, delta in events:
+            live += delta
+            peak = max(peak, live)
+        pools[pool.name.lower()] = {"registers": len(ranges), "peak": peak}
+    return pools
+
+
+def _allocator_stats(builder: Any) -> dict[str, dict[str, int]]:
+    stats: dict[str, dict[str, int]] = {}
+    for attr, pool in (("int_alloc", "int"), ("med_alloc", "med"),
+                       ("acc_alloc", "acc")):
+        alloc = getattr(builder, attr, None)
+        if alloc is not None:
+            stats[pool] = {"allocated": alloc._next, "limit": alloc.limit}
+    return stats
+
+
+def pressure_report(builder: Any, kernel: str = "",
+                    isa: str = "") -> dict[str, Any]:
+    """Liveness + allocator + register-file-cost report for one stream."""
+    isa = isa or builder.isa_name
+    pools = peak_liveness(builder)
+    allocators = _allocator_stats(builder)
+
+    # Join against the machine's register files to express demand as
+    # utilization of the files the area model prices.
+    from ..cpu.config import register_file_specs
+    files: list[dict[str, object]] = []
+    for spec in register_file_specs(isa):
+        pool = spec.pool.name.lower()
+        stats = pools.get(pool, {"registers": 0, "peak": 0})
+        files.append({
+            "pool": pool,
+            "logical": spec.logical,
+            "peak_live": stats["peak"],
+            "utilization": (round(stats["peak"] / spec.logical, 3)
+                            if spec.logical else 0.0),
+            "area_units": round(file_area_units(spec), 1),
+        })
+    return {
+        "kernel": kernel,
+        "isa": isa,
+        "pools": pools,
+        "allocators": allocators,
+        "register_files": files,
+    }

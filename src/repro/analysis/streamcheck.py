@@ -1,0 +1,337 @@
+"""Dataflow and shape verification of lowered instruction streams.
+
+The builders record *dynamic* traces -- loops are unrolled and every
+branch carries its outcome -- so dataflow over the linear stream is
+exact: no CFG, no merges.  The checks:
+
+* **def-before-use** over all four register pools.  Live-in state comes
+  from the builder: ``preinit`` registers were created holding a
+  meaningful value (pointer bases, loop counts, argmin sentinels), and
+  the self-zeroing idiom (``pxor r, r, r``) counts as a pure definition.
+* **dead writes**: a write nobody reads before the next write to the
+  same register.  The final write to a register is live-out, as are
+  writes to registers the kernel marked with
+  :meth:`~repro.emulib.base_builder.BaseBuilder.mark_live_out` (values
+  read back functionally between instructions).
+* **unused defs**: registers that are written but never read.
+  Registers only ever defined by the zeroing idiom are exempt -- the
+  digest-pinned codegen materializes a zero constant even on paths that
+  end up not consuming it.
+* **MOM VL/tile discipline**: every VL stamp inside ``[0, 16]``; for
+  compiler-lowered kernels, every matrix operation covering more than
+  one row must cover exactly ``ir.rows``.
+* **buffer bounds** (compiler-lowered kernels): every accessed byte
+  falls entirely inside one known region -- a bound buffer, the scalar
+  saturation table, or the packed constant pool.
+* **accumulator chains** (compiler-lowered reductions): accumulates per
+  instance match ``rows x tiles``, every accumulate targets an
+  accumulator cleared since the previous instance (a dropped ``clracc``
+  silently carries totals over), and, on MDMX, consecutive accumulates
+  into the same accumulator are at least the rotation depth apart --
+  the software-pipelining property Section 2.1 motivates.
+* **saturation discipline** (packed map kernels whose IR root is
+  ``SatU8``): every store into the out buffer is fed by a saturating
+  pack (``packushb``), never by a truncating one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..emulib.memory import Memory
+from ..emulib.trace import reg_pool
+from ..isa.model import RegPool
+from ..vc.ir import SatU8, TABLE_SIZE
+from .findings import Finding, PASS_DATAFLOW, PASS_RANGE
+
+#: MOM's architectural vector-length ceiling (matrix rows).
+MATRIX_ROWS = 16
+
+#: Ops that write only a slice of their destination: reading the (maybe
+#: undefined) remainder on the first touch is the row-assembly idiom,
+#: not a dataflow bug.
+PARTIAL_WRITE_OPS = frozenset(("mominsrow",))
+
+
+def _is_zeroing(instr: Any) -> bool:
+    """Self-zeroing idiom (``pxor r, r, r``): a pure definition.
+
+    Only xor-family opcodes qualify -- an in-place ``sextw r, r`` also
+    has ``srcs <= dsts`` but genuinely reads its operand.
+    """
+    return "xor" in instr.op.name and bool(instr.dsts) and \
+        bool(instr.srcs) and set(instr.srcs) <= set(instr.dsts)
+
+
+def check_dataflow(builder: Any, kernel: str = "",
+                   isa: str = "") -> list[Finding]:
+    """Def-before-use, dead-write and unused-def over the trace."""
+    isa = isa or builder.isa_name
+    preinit = getattr(builder, "preinit", set())
+    live_out = getattr(builder, "live_out", set())
+    findings: list[Finding] = []
+
+    defined = set(preinit)
+    last_def: dict[int, tuple[int, str, bool]] = {}
+    read_since: dict[int, bool] = {}
+    ever_read: set[int] = set()
+    nonzero_defs: set[int] = set()
+    def_sites: dict[int, tuple[int, str]] = {}
+
+    def name_of(encoded: int) -> str:
+        return f"{reg_pool(encoded).name.lower()}{encoded & 0xFF}"
+
+    for i, instr in enumerate(builder.trace):
+        zeroing = _is_zeroing(instr)
+        if not zeroing:
+            for src in instr.srcs:
+                if src not in defined:
+                    # Partial writes (row inserts) read the untouched
+                    # remainder of their own destination: first-touch
+                    # reads there are benign.
+                    if not (src in instr.dsts
+                            and instr.op.name in PARTIAL_WRITE_OPS):
+                        findings.append(Finding(
+                            PASS_DATAFLOW, "use-before-def",
+                            f"{instr.op.name} reads {name_of(src)} before "
+                            f"any definition", kernel=kernel, isa=isa,
+                            location=f"#{i}"))
+                    defined.add(src)  # report once per register
+                read_since[src] = True
+                ever_read.add(src)
+        self_update = any(d in instr.srcs for d in instr.dsts)
+        for dst in instr.dsts:
+            prev = last_def.get(dst)
+            if (prev is not None and not read_since.get(dst, True)
+                    and not prev[2] and dst not in live_out):
+                findings.append(Finding(
+                    PASS_DATAFLOW, "dead-write",
+                    f"{prev[1]} writes {name_of(dst)} but {instr.op.name} "
+                    f"overwrites it unread", kernel=kernel, isa=isa,
+                    location=f"#{prev[0]}"))
+            # A self-update (`lda p, 8(p)`: pointer bump, counter
+            # decrement) going unread before redefinition is the normal
+            # fate of the final trip of an unrolled loop, not dead code.
+            last_def[dst] = (i, instr.op.name, self_update and not zeroing)
+            read_since[dst] = False
+            defined.add(dst)
+            if dst not in def_sites:
+                def_sites[dst] = (i, instr.op.name)
+            if not zeroing:
+                nonzero_defs.add(dst)
+
+    for encoded, (index, op_name) in sorted(def_sites.items()):
+        if encoded in ever_read or encoded in live_out:
+            continue
+        if encoded not in nonzero_defs:
+            continue  # zero-constant materialization on an unused path
+        findings.append(Finding(
+            PASS_DATAFLOW, "unused-def",
+            f"{name_of(encoded)} is written ({op_name}) but never read",
+            kernel=kernel, isa=isa, location=f"#{index}"))
+    return findings
+
+
+# --- MOM vector-length discipline -------------------------------------------
+
+def check_vl(builder: Any, kernel: str = "", isa: str = "") -> list[Finding]:
+    isa = isa or builder.isa_name
+    if isa != "mom":
+        return []
+    lowering = getattr(builder, "vc_lowering", None)
+    rows = lowering["ir"].rows if lowering else None
+    findings: list[Finding] = []
+    for i, instr in enumerate(builder.trace):
+        if not 0 <= instr.vl <= MATRIX_ROWS:
+            findings.append(Finding(
+                PASS_DATAFLOW, "vl-range",
+                f"{instr.op.name} carries VL={instr.vl} outside "
+                f"[0, {MATRIX_ROWS}]", kernel=kernel, isa=isa,
+                location=f"#{i}"))
+        elif rows is not None and instr.vl > 1 and instr.vl != rows:
+            findings.append(Finding(
+                PASS_DATAFLOW, "vl-mismatch",
+                f"{instr.op.name} covers VL={instr.vl} rows but the IR "
+                f"nest is {rows} rows deep", kernel=kernel, isa=isa,
+                location=f"#{i}"))
+    return findings
+
+
+# --- buffer bounds -----------------------------------------------------------
+
+def _extents(builder: Any) -> list[tuple[str, int, int]]:
+    """Known memory regions ``(name, base, end)`` of a compiled kernel."""
+    lowering = builder.vc_lowering
+    ir, binding, bases = lowering["ir"], lowering["binding"], lowering["bases"]
+    extents: list[tuple[str, int, int]] = []
+    for buf in ir.buffers:
+        base = bases[buf.name]
+        if buf.out:
+            size = binding.instances * ir.rows * ir.cols
+        else:
+            bound = binding.buffers[buf.name]
+            size = int(bound.array.nbytes)
+        extents.append((buf.name, base, base + size))
+    table = lowering.get("sat_table")
+    if table is not None:
+        extents.append(("sat_table", table, table + TABLE_SIZE))
+    pool = lowering.get("const_pool")
+    if pool is not None:
+        base, size = pool
+        extents.append(("const_pool", base, base + size))
+    return extents
+
+
+def check_bounds(builder: Any, kernel: str = "",
+                 isa: str = "") -> list[Finding]:
+    """Every accessed byte inside exactly one known region (vc only)."""
+    if getattr(builder, "vc_lowering", None) is None:
+        return []
+    isa = isa or builder.isa_name
+    extents = _extents(builder)
+    findings: list[Finding] = []
+    for i, instr in enumerate(builder.trace):
+        if not instr.op.iclass.is_memory or instr.addr is None:
+            continue
+        for addr in instr.element_addresses():
+            end = addr + instr.nbytes
+            if any(base <= addr and end <= stop
+                   for _, base, stop in extents):
+                continue
+            inside = next((name for name, base, stop in extents
+                           if base < end and addr < stop), None)
+            detail = (f"straddles the end of {inside!r}" if inside
+                      else "hits no bound buffer, table or pool"
+                      if Memory.BASE <= addr < builder.mem._brk
+                      else "lies outside allocated memory")
+            findings.append(Finding(
+                PASS_DATAFLOW, "oob",
+                f"{instr.op.name} accesses [{addr:#x}, {end:#x}) which "
+                f"{detail}", kernel=kernel, isa=isa, location=f"#{i}"))
+            break  # one finding per instruction is enough
+    return findings
+
+
+# --- accumulator chains ------------------------------------------------------
+
+def check_acc_chains(builder: Any, kernel: str = "",
+                     isa: str = "") -> list[Finding]:
+    """Reduction accumulator discipline for MDMX/MOM compiled kernels."""
+    lowering = getattr(builder, "vc_lowering", None)
+    isa = isa or builder.isa_name
+    if lowering is None or isa not in ("mdmx", "mom"):
+        return []
+    ir = lowering["ir"]
+    if not ir.reduce:
+        return []
+    expected = ir.rows * ir.tiles if isa == "mdmx" else ir.tiles
+    findings: list[Finding] = []
+
+    acc_regs: set[int] = set()
+    n_acc_ops = 0
+    last_acc_op: dict[int, int] = {}
+    region_total = 0
+    cleared: set[int] = set()
+    stale_reported: set[int] = set()
+    ever_closed = False
+
+    def close_region(index: int) -> None:
+        nonlocal region_total, ever_closed
+        if region_total and region_total != expected:
+            findings.append(Finding(
+                PASS_DATAFLOW, "acc-count",
+                f"accumulator region holds {region_total} accumulates; the "
+                f"IR reduction needs {expected} per instance",
+                kernel=kernel, isa=isa, location=f"#{index}"))
+        if region_total:
+            ever_closed = True
+        region_total = 0
+        last_acc_op.clear()
+        cleared.clear()
+        stale_reported.clear()
+
+    for i, instr in enumerate(builder.trace):
+        acc_dsts = [d for d in instr.dsts if reg_pool(d) is RegPool.ACC]
+        if not acc_dsts:
+            continue
+        acc = acc_dsts[0]
+        if acc in instr.srcs:
+            # accumulate: read-modify-write of the accumulator
+            n_acc_ops += 1
+            region_total += 1
+            if (ever_closed and acc not in cleared
+                    and acc not in stale_reported):
+                findings.append(Finding(
+                    PASS_DATAFLOW, "acc-stale",
+                    f"{instr.op.name} accumulates into an accumulator never "
+                    f"cleared this region; the previous instance's total "
+                    f"carries over", kernel=kernel, isa=isa,
+                    location=f"#{i}"))
+                stale_reported.add(acc)
+            prev = last_acc_op.get(acc)
+            depth = len(acc_regs)
+            if (isa == "mdmx" and prev is not None and depth > 1
+                    and n_acc_ops - prev < depth):
+                findings.append(Finding(
+                    PASS_DATAFLOW, "acc-rotation",
+                    f"{instr.op.name} reuses an accumulator only "
+                    f"{n_acc_ops - prev} accumulates after its last use; "
+                    f"rotation depth is {depth}",
+                    kernel=kernel, isa=isa, location=f"#{i}"))
+            last_acc_op[acc] = n_acc_ops
+        else:
+            # clear: starts a new instance region once work accumulated
+            if region_total:
+                close_region(i)
+            acc_regs.add(acc)
+            cleared.add(acc)
+    close_region(len(builder.trace) - 1 if len(builder.trace) else 0)
+    return findings
+
+
+# --- saturation discipline ---------------------------------------------------
+
+def check_saturation_discipline(builder: Any, kernel: str = "",
+                                isa: str = "") -> list[Finding]:
+    """Packed map stores must be fed by ``packushb`` when the IR
+    saturates (a truncating pack would silently wrap)."""
+    lowering = getattr(builder, "vc_lowering", None)
+    isa = isa or builder.isa_name
+    if lowering is None or isa == "alpha":
+        return []
+    ir = lowering["ir"]
+    if ir.reduce or not isinstance(ir.expr, SatU8):
+        return []
+    binding, bases = lowering["binding"], lowering["bases"]
+    out = ir.out_buffer
+    out_base = bases[out.name]
+    out_end = out_base + binding.instances * ir.rows * ir.cols
+
+    findings: list[Finding] = []
+    def_op: dict[int, str] = {}
+    for i, instr in enumerate(builder.trace):
+        if (instr.op.iclass.is_store and instr.addr is not None
+                and out_base <= instr.addr < out_end and instr.srcs):
+            producer = def_op.get(instr.srcs[0], "<live-in>")
+            if producer != "packushb":
+                findings.append(Finding(
+                    PASS_RANGE, "unsaturated-store",
+                    f"{instr.op.name} stores to {out.name!r} from a value "
+                    f"produced by {producer}; the IR root is SatU8 so the "
+                    f"producer must be packushb",
+                    kernel=kernel, isa=isa, location=f"#{i}"))
+        for dst in instr.dsts:
+            def_op[dst] = instr.op.name
+    return findings
+
+
+def check_stream(builder: Any, kernel: str = "",
+                 isa: str = "") -> list[Finding]:
+    """All stream passes applicable to one built kernel."""
+    isa = isa or builder.isa_name
+    findings = check_dataflow(builder, kernel, isa)
+    findings += check_vl(builder, kernel, isa)
+    findings += check_bounds(builder, kernel, isa)
+    findings += check_acc_chains(builder, kernel, isa)
+    findings += check_saturation_discipline(builder, kernel, isa)
+    return findings

@@ -22,7 +22,6 @@ import numpy as np
 
 from ..emulib.scalar_section import SectionProfile
 from .common import AppSpec, BuiltApp, PhaseTimer, make_stages, register
-from .reference import dot16_ref
 from .workloads import pcm_audio
 
 FRAME = 160

@@ -16,8 +16,8 @@ import numpy as np
 
 from ..emulib.scalar_section import SectionProfile
 from .common import AppSpec, BuiltApp, PhaseTimer, make_stages, register
-from .reference import (addblock_ref, dequant_ref, downsample2_ref, quant_ref,
-                        residual_ref, rgb2ycc_ref, transform8_ref,
+from .reference import (addblock_ref, dequant_ref, downsample2_ref,
+                        quant_ref, rgb2ycc_ref, transform8_ref,
                         upsample2_ref, ycc2rgb_ref)
 from .stages import FDCT_MAT, IDCT_MAT
 from .workloads import rgb_image

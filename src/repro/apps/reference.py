@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..kernels.idct import (N, OUT_MAX, OUT_MIN, PASS1_ROUND, PASS1_SHIFT,
+from ..kernels.idct import (OUT_MAX, OUT_MIN, PASS1_ROUND, PASS1_SHIFT,
                             PASS2_ROUND, PASS2_SHIFT)
 from ..kernels.rgb2ycc import COMPONENTS as RGB2YCC
 from .stages import QUANT_SHIFT

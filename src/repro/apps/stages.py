@@ -29,7 +29,6 @@ import numpy as np
 
 from ..emulib.alpha_builder import emit_abs_diff
 from ..emulib.scalar_section import SectionProfile, emit_scalar_section
-from ..isa.model import ElemType
 from ..kernels.idct import (N, OUT_MAX, OUT_MIN, PASS1_ROUND, PASS1_SHIFT,
                             PASS2_ROUND, PASS2_SHIFT, idct_matrix)
 from ..kernels.rgb2ycc import COMPONENTS as RGB2YCC
@@ -295,7 +294,6 @@ class ScalarStages:
                 n: int) -> None:
         b = self.b
         vr, vg, vb, c, prod, s, cnt = self.r[:7]
-        ptrs = {"r": r, "g": g, "b": bb}
         outs = {"y": y, "cb": cb, "cr": cr}
         pr, pg, pb = b.ireg(r), b.ireg(g), b.ireg(bb)
         site = b.site()

@@ -23,7 +23,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..isa.alpha import ALPHA
-from ..isa.model import IsaTable, Opcode, RegPool
+from ..isa.model import Opcode, RegPool
 from .memory import Memory
 from .trace import DynInstr, Trace, reg
 
@@ -108,12 +108,43 @@ class BaseBuilder:
         self.trace = Trace(self.isa_name)
         self.int_alloc = RegisterAllocator(RegPool.INT, int_registers)
         self._next_site = 1
+        #: encoded registers created with a meaningful initial value and no
+        #: defining instruction (the verifier treats them as live-in).
+        self.preinit: set[int] = set()
+        #: encoded registers whose values escape to the functional outputs
+        #: between instructions (e.g. per-instance reduction scalars read
+        #: back via ``.value``); dead-write analysis treats every write to
+        #: them as observable.
+        self.live_out: set[int] = set()
 
     # --- register & site management ------------------------------------------
 
-    def ireg(self, value: int = 0) -> RegHandle:
-        """Allocate an integer register holding ``value``."""
-        return RegHandle(RegPool.INT, self.int_alloc.take(), wrap64(value), self)
+    def ireg(self, value: int | None = None) -> RegHandle:
+        """Allocate an integer register holding ``value``.
+
+        Passing an explicit value marks the register *pre-initialized*: it
+        carries meaning before any defining instruction, so dataflow
+        analysis must treat it as live-in rather than undefined.
+        """
+        handle = RegHandle(
+            RegPool.INT, self.int_alloc.take(), wrap64(value or 0), self
+        )
+        if value is not None:
+            self.preinit.add(handle.encoded)
+        return handle
+
+    def mark_live_out(self, *handles: RegHandle) -> None:
+        """Declare registers that are live beyond the visible dataflow.
+
+        Kernels hand results to the host between instructions (appending
+        ``reg.value`` per instance), and some materialize values a shared
+        preamble provides but this lowering does not consume; both look
+        dead to a stream analysis.  Marking the register keeps the
+        dataflow verifier honest without emitting artificial
+        instructions.
+        """
+        for handle in handles:
+            self.live_out.add(handle.encoded)
 
     def free(self, handle: RegHandle) -> None:
         """Return a register to its pool (optional; for long kernels)."""

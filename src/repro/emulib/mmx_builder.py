@@ -8,10 +8,8 @@ every computation names a distinct destination.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..isa.mmx import MMX
-from ..isa.model import ElemType, IsaTable, Opcode, RegPool
+from ..isa.model import ElemType, IsaTable, RegPool
 from ..core import packed
 from .base_builder import BaseBuilder, RegHandle, RegisterAllocator
 
@@ -35,9 +33,18 @@ class MmxBuilder(BaseBuilder):
 
     # --- registers -------------------------------------------------------------
 
-    def mreg(self, value: int = 0) -> RegHandle:
-        """Allocate a media register holding a packed 64-bit word."""
-        return RegHandle(RegPool.MED, self.med_alloc.take(), value & _U64, self)
+    def mreg(self, value: int | None = None) -> RegHandle:
+        """Allocate a media register holding a packed 64-bit word.
+
+        An explicit value marks the register pre-initialized (live-in) for
+        dataflow analysis, mirroring :meth:`BaseBuilder.ireg`.
+        """
+        handle = RegHandle(
+            RegPool.MED, self.med_alloc.take(), (value or 0) & _U64, self
+        )
+        if value is not None:
+            self.preinit.add(handle.encoded)
+        return handle
 
     def free(self, handle: RegHandle) -> None:
         if handle.pool == RegPool.MED:

@@ -18,6 +18,8 @@ Examples::
     repro sweep --kernels idct,motion2 --isas mom --ways 1,2,4,8
     repro sweep figure5 --no-batch     # per-point Core.run dispatch
     repro kernels                      # registry + per-ISA DLP coverage
+    repro lint                         # static verification, whole grid
+    repro lint --kernel ssd --isa mdmx --json --artifact findings.json
     repro bench                        # regenerate BENCH_batch.json + delta
     repro bench all --smoke            # fast sanity pass over every suite
     repro cache                        # show cache location / size
@@ -44,7 +46,7 @@ import sys
 
 from .. import __version__
 from .engine import Session
-from .spec import PRESETS, SweepSpec, preset
+from .spec import SweepSpec, preset
 
 
 def _csv(text: str) -> tuple[str, ...]:
@@ -540,6 +542,7 @@ def _parse_age(text: str) -> float:
 
 
 def _cmd_kernels(args) -> int:
+    from ..analysis import verified_status
     from ..apps import APP_ORDER, APPS
     from ..core.vectorize import coverage_for_isa
     from ..kernels import ISAS, KERNEL_ORDER, KERNELS
@@ -548,9 +551,10 @@ def _cmd_kernels(args) -> int:
     order = [k for k in KERNEL_ORDER if k in KERNELS]
     order += sorted(k for k in KERNELS if k not in order)
     print(f"{len(KERNELS)} kernels, {len(APPS)} applications; "
-          f"builders: hand = hand-vectorized, vc = compiled from IR\n")
+          f"builders: hand = hand-vectorized, vc = compiled from IR; "
+          f"verified = all static analysis passes clean\n")
     header = (f"{'kernel':14s} {'isa':6s} {'builder':14s} "
-              f"{'elems/instr':>11s} {'util':>6s}")
+              f"{'elems/instr':>11s} {'util':>6s} {'verified':>9s}")
     print(header)
     print("-" * len(header))
     for name in order:
@@ -575,8 +579,10 @@ def _cmd_kernels(args) -> int:
                 util = f"{cov.utilization:>6.0%}"
             else:
                 cover, util = f"{'-':>11s}", f"{'-':>6s}"
+            verified = "yes" if verified_status(name, isa) else "NO"
             label = name if i == 0 else ""
-            print(f"{label:14s} {isa:6s} {origin:14s} {cover} {util}")
+            print(f"{label:14s} {isa:6s} {origin:14s} {cover} {util} "
+                  f"{verified:>9s}")
     from ..apps import APP_ISAS
 
     print(f"\n{'application':14s} {'isas':20s} description")
@@ -585,6 +591,45 @@ def _cmd_kernels(args) -> int:
         app = APPS[name]
         print(f"{name:14s} {','.join(APP_ISAS):20s} {app.description}")
     return 0
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from ..analysis import lint_all
+    from ..analysis.runner import kernel_names
+
+    kernels = [args.kernel] if args.kernel else None
+    isas = [args.isa] if args.isa else None
+    # The jit-subset linter is stream-independent; it joins the run
+    # unless the user narrowed the grid to one kernel.
+    include_jit = args.kernel is None
+    report, artifacts = lint_all(kernels, isas, include_jit=include_jit)
+
+    payload = report.to_dict()
+    payload["cells"] = artifacts
+    if args.artifact:
+        with open(args.artifact, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        names = kernels if kernels is not None else kernel_names()
+        targets = isas if isas is not None else ["alpha", "mmx", "mdmx",
+                                                 "mom"]
+        proved = sum(len(cell.get("checkpoints",
+                                  cell.get("mirror_checkpoints", [])))
+                     for cell in artifacts)
+        print(f"linted {len(names)} kernels x {len(targets)} ISAs"
+              f"{' + jit subset' if include_jit else ''}: "
+              f"{proved} range checkpoints, "
+              f"{len(report.findings)} findings")
+        for finding in report.findings:
+            print(f"  {finding}")
+        if args.artifact:
+            print(f"findings artifact written to {args.artifact}")
+    return 0 if report.ok else 1
 
 
 def _cmd_cache(args) -> int:
@@ -916,6 +961,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("kernels",
                        help="list kernels/apps with per-ISA DLP coverage")
     p.set_defaults(func=_cmd_kernels)
+
+    p = sub.add_parser("lint",
+                       help="statically verify kernels: IR/stream "
+                            "dataflow, saturation ranges, jit subset")
+    p.add_argument("--kernel", help="lint one kernel (default: all)")
+    p.add_argument("--isa", choices=["alpha", "mmx", "mdmx", "mom"],
+                   help="lint one ISA (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="print findings and proof artifacts as JSON")
+    p.add_argument("--artifact", metavar="PATH",
+                   help="write the JSON findings/proof artifact to PATH")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("bench",
                        help="regenerate BENCH_*.json locally and print the "

@@ -28,7 +28,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..emulib.alpha_builder import AlphaBuilder
-from ..emulib.base_builder import RegHandle
 from ..emulib.mdmx_builder import MdmxBuilder
 from ..emulib.mmx_builder import MmxBuilder
 from ..emulib.mom_builder import MomBuilder

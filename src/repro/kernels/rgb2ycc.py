@@ -212,6 +212,9 @@ def _build_mdmx(workload: RgbWorkload) -> BuiltKernel:
         b.li(addr, c_addr + 8 * i)
         b.m_ldq(reg, addr, 0)
         consts[label] = reg
+    # The shared MMX constant table carries a rounding word, but MDMX
+    # rounds inside the accumulator readout (raccsh/raccuh shift=8).
+    b.mark_live_out(consts["round"])
 
     zero = b.mreg()
     b.pxor(zero, zero, zero)

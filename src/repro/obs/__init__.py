@@ -45,6 +45,7 @@ __all__ = [
     "Histogram",
     "JsonlSink",
     "MemorySink",
+    "NULL_SPAN",
     "NullRegistry",
     "NullTracer",
     "Obs",

@@ -109,7 +109,7 @@ def make_builders(ir: LoopKernel, bind, *, output_key: str = "out",
     return {isa: make(isa) for isa in LOWERERS}
 
 
-from . import mirrors  # noqa: E402  (registers the digest-pinned mirrors)
+from . import mirrors  # noqa: E402,F401  (registers the digest-pinned mirrors)
 
 __all__ = [
     "AbsDiff", "Add", "Binding", "Buffer", "BufferBinding", "COMPILED",

@@ -49,6 +49,24 @@ def alloc_buffers(builder, ir: LoopKernel, binding: Binding) -> dict[str, int]:
     return bases
 
 
+def note_lowering(builder, ir: LoopKernel, binding: Binding,
+                  bases: dict[str, int]) -> None:
+    """Attach lowering provenance to the builder for the analysis layer.
+
+    Pure attribute assignment -- no instructions are emitted, no memory is
+    touched -- so digest-pinned traces are unaffected.  The static
+    verifier (:mod:`repro.analysis`) reads these to check the lowered
+    stream against the IR it came from (buffer bounds, reduction shape,
+    saturation ranges) without re-running the compiler.
+    """
+    builder.vc_lowering = {
+        "ir": ir,
+        "binding": binding,
+        "bases": dict(bases),
+        "isa": builder.isa_name,
+    }
+
+
 def alloc_sat_table(builder) -> int:
     """Place the scalar saturation lookup table; returns its base.
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from ..emulib.alpha_builder import AlphaBuilder, emit_abs_diff
 from .base import (ArgminTracker, TABLE_BIAS, alloc_buffers, alloc_sat_table,
-                   read_map_output, reduce_outputs)
+                   note_lowering, read_map_output, reduce_outputs)
 from .ir import (Add, AbsDiff, Binding, Const, GtU, I16, Load, LoopKernel,
                  Mul, Select, SatU8, Shr, Square, Sub)
 
@@ -31,6 +31,7 @@ def lower(ir: LoopKernel, binding: Binding, output_key: str = "out"):
     """Compile ``ir`` for the scalar baseline; returns (builder, outputs)."""
     b = AlphaBuilder()
     bases = alloc_buffers(b, ir, binding)
+    note_lowering(b, ir, binding, bases)
     if ir.reduce:
         return b, _lower_reduce(b, ir, binding, bases)
     return b, _lower_map(b, ir, binding, bases, output_key)
@@ -48,6 +49,7 @@ def _lower_reduce(b: AlphaBuilder, ir: LoopKernel, binding: Binding,
 
     pa, pb = b.ireg(), b.ireg(bases[lb.buf])
     s, va, vb, d, scr = b.ireg(), b.ireg(), b.ireg(), b.ireg(), b.ireg()
+    b.mark_live_out(s)
     rows = b.ireg()
     tracker = ArgminTracker(b) if ir.argmin else None
     row_site = b.site()
@@ -181,7 +183,6 @@ class _ScalarEval:
 
     def _additive(self, node, col: int, remaining: dict, op, op_imm):
         """Add/Sub/Mul with the immediate form when one side is Const."""
-        b = self.b
         if isinstance(node.b, Const):
             reg = self._owned(self.eval(node.a, col, remaining),
                               node.a, remaining, "acc")
@@ -214,6 +215,7 @@ def _lower_map(b: AlphaBuilder, ir: LoopKernel, binding: Binding,
     tab = None
     if needs_table:
         table_addr = alloc_sat_table(b)
+        b.vc_lowering["sat_table"] = table_addr
         tab = b.ireg(table_addr + TABLE_BIAS)
     ev = _ScalarEval(b, ir, tab)
     ev.pointers = pointers

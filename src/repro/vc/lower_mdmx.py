@@ -16,7 +16,8 @@ accumulators*.  The final read-out is the rac/punpck reduction tree from
 from __future__ import annotations
 
 from ..emulib.mdmx_builder import MdmxBuilder
-from .base import (ArgminTracker, alloc_buffers, reduce_outputs, unroll_for)
+from .base import (ArgminTracker, alloc_buffers, note_lowering,
+                   reduce_outputs, unroll_for)
 from .ir import Binding, LoopKernel, Square
 from .lower_mmx import lower_with
 
@@ -27,6 +28,7 @@ def lower(ir: LoopKernel, binding: Binding, output_key: str = "out"):
         return lower_with(MdmxBuilder, ir, binding, output_key)
     b = MdmxBuilder()
     bases = alloc_buffers(b, ir, binding)
+    note_lowering(b, ir, binding, bases)
     return b, _lower_reduce(b, ir, binding, bases)
 
 
@@ -48,6 +50,7 @@ def _lower_reduce(b: MdmxBuilder, ir: LoopKernel, binding: Binding,
 
     pa, pb = b.ireg(), b.ireg()
     s, s2 = b.ireg(), b.ireg()
+    b.mark_live_out(s)
     tracker = ArgminTracker(b) if ir.argmin else None
     rows = b.ireg()
     a_tiles = [b.mreg() for _ in range(tiles)]

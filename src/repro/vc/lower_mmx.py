@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from ..emulib.mmx_builder import MmxBuilder
 from .base import (ArgminTracker, PackedEval, alloc_buffers, alloc_const_pool,
-                   load_offset, make_const_word, plan_packed, read_map_output,
-                   reduce_outputs, unroll_for)
+                   load_offset, make_const_word, note_lowering, plan_packed,
+                   read_map_output, reduce_outputs, unroll_for)
 from .ir import HALF, I16, Binding, LoopKernel, Square
 
 
@@ -32,6 +32,7 @@ def lower_with(builder_cls, ir: LoopKernel, binding: Binding,
     hand ``addblock`` uses one builder function for both ISAs too)."""
     b = builder_cls()
     bases = alloc_buffers(b, ir, binding)
+    note_lowering(b, ir, binding, bases)
     if ir.reduce:
         return b, _lower_reduce(b, ir, binding, bases)
     return b, _lower_map(b, ir, binding, bases, output_key)
@@ -58,6 +59,7 @@ def _lower_map(b, ir: LoopKernel, binding: Binding, bases: dict[str, int],
         const_pool = alloc_const_pool(b, [
             make_const_word(value, domain == HALF)
             for value, domain in const_keys])
+        b.vc_lowering["const_pool"] = (const_pool, 8 * len(const_keys))
 
     pointers = {buf.name: b.ireg() for buf in ir.buffers}
     rows = b.ireg()
@@ -104,6 +106,7 @@ def _lower_reduce(b, ir: LoopKernel, binding: Binding, bases: dict[str, int]):
 
     pa, pb = b.ireg(), b.ireg()
     s = b.ireg()
+    b.mark_live_out(s)
     tracker = ArgminTracker(b) if ir.argmin else None
     rows = b.ireg()
     a_tiles = [b.mreg() for _ in range(tiles)]

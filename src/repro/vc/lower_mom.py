@@ -19,8 +19,8 @@ from ..core.mom_isa import MATRIX_ROWS
 from ..emulib.mom_builder import MomBuilder
 from ..isa.model import ElemType
 from .base import (ArgminTracker, PackedEval, alloc_buffers, alloc_const_pool,
-                   make_const_word, plan_packed, read_map_output,
-                   reduce_outputs)
+                   make_const_word, note_lowering, plan_packed,
+                   read_map_output, reduce_outputs)
 from .ir import HALF, Binding, LoopKernel, Square
 
 
@@ -31,6 +31,7 @@ def lower(ir: LoopKernel, binding: Binding, output_key: str = "out"):
                          f"{MATRIX_ROWS} rows per instance, got {ir.rows}")
     b = MomBuilder()
     bases = alloc_buffers(b, ir, binding)
+    note_lowering(b, ir, binding, bases)
     if ir.reduce:
         return b, _lower_reduce(b, ir, binding, bases)
     return b, _lower_map(b, ir, binding, bases, output_key)
@@ -84,6 +85,7 @@ def _lower_map(b: MomBuilder, ir: LoopKernel, binding: Binding,
         const_pool = alloc_const_pool(b, [
             make_const_word(value, domain == HALF)
             for value, domain in const_keys])
+        b.vc_lowering["const_pool"] = (const_pool, 8 * len(const_keys))
 
     pointers = {buf.name: b.ireg() for buf in ir.buffers}
     strides = {buf.name: b.ireg(binding.buffers[buf.name].row_stride)
@@ -127,6 +129,7 @@ def _lower_reduce(b: MomBuilder, ir: LoopKernel, binding: Binding,
     stride_a = b.ireg(binding.buffers[la.buf].row_stride)
     stride_b = b.ireg(binding.buffers[lb.buf].row_stride)
     s = b.ireg()
+    b.mark_live_out(s)
     tracker = ArgminTracker(b) if ir.argmin else None
     a_tiles = [b.mreg() for _ in range(tiles)]
     b_tiles = [b.mreg() for _ in range(tiles)]
